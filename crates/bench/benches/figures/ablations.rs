@@ -1,0 +1,11 @@
+//! `harness = false` bench target: run the design-choice ablations via
+//! `cargo bench -p samplehist-bench --bench ablations`.
+
+use samplehist_bench::experiments::{ablations, emit_tables};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", ablations::ID, scale.n, scale.trials);
+    emit_tables(ablations::ID, &ablations::run(&scale));
+}

@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench ex1_error_metrics`.
+
+use samplehist_bench::experiments::{emit_tables, ex1};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", ex1::ID, scale.n, scale.trials);
+    emit_tables(ex1::ID, &ex1::run(&scale));
+}

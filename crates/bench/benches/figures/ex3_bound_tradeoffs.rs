@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench ex3_bound_tradeoffs`.
+
+use samplehist_bench::experiments::{emit_tables, ex3};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", ex3::ID, scale.n, scale.trials);
+    emit_tables(ex3::ID, &ex3::run(&scale));
+}

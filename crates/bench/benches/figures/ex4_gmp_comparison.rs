@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench ex4_gmp_comparison`.
+
+use samplehist_bench::experiments::{emit_tables, ex4};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", ex4::ID, scale.n, scale.trials);
+    emit_tables(ex4::ID, &ex4::run(&scale));
+}

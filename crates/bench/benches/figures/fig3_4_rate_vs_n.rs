@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench fig3_4_rate_vs_n`.
+
+use samplehist_bench::experiments::{emit_tables, fig3_4};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", fig3_4::ID, scale.n, scale.trials);
+    emit_tables(fig3_4::ID, &fig3_4::run(&scale));
+}

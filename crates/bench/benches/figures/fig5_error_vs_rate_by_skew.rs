@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench fig5_error_vs_rate_by_skew`.
+
+use samplehist_bench::experiments::{emit_tables, fig5};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", fig5::ID, scale.n, scale.trials);
+    emit_tables(fig5::ID, &fig5::run(&scale));
+}

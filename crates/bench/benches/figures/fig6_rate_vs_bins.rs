@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench fig6_rate_vs_bins`.
+
+use samplehist_bench::experiments::{emit_tables, fig6};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", fig6::ID, scale.n, scale.trials);
+    emit_tables(fig6::ID, &fig6::run(&scale));
+}

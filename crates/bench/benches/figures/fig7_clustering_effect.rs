@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench fig7_clustering_effect`.
+
+use samplehist_bench::experiments::{emit_tables, fig7};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", fig7::ID, scale.n, scale.trials);
+    emit_tables(fig7::ID, &fig7::run(&scale));
+}

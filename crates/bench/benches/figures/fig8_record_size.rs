@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench fig8_record_size`.
+
+use samplehist_bench::experiments::{emit_tables, fig8};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", fig8::ID, scale.n, scale.trials);
+    emit_tables(fig8::ID, &fig8::run(&scale));
+}

@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench fig9_12_distinct_values`.
+
+use samplehist_bench::experiments::{emit_tables, fig9_12};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", fig9_12::ID, scale.n, scale.trials);
+    emit_tables(fig9_12::ID, &fig9_12::run(&scale));
+}

@@ -1,0 +1,11 @@
+//! `harness = false` bench target: validate the Theorem 7 stopping rule
+//! via `cargo bench -p samplehist-bench --bench thm7_stopping_rule`.
+
+use samplehist_bench::experiments::{emit_tables, thm7};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", thm7::ID, scale.n, scale.trials);
+    emit_tables(thm7::ID, &thm7::run(&scale));
+}

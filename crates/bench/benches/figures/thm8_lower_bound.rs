@@ -1,0 +1,11 @@
+//! `harness = false` bench target: regenerate this paper artifact via
+//! `cargo bench -p samplehist-bench --bench thm8_lower_bound`.
+
+use samplehist_bench::experiments::{emit_tables, thm8};
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("==== {} (N = {}, trials = {}) ====\n", thm8::ID, scale.n, scale.trials);
+    emit_tables(thm8::ID, &thm8::run(&scale));
+}

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks: frequency-profile construction and the
+//! distinct-value estimator suite.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist_core::distinct::{all_estimators, FrequencyProfile};
+use samplehist_data::DataSpec;
+
+fn sample_of(spec: DataSpec, n: u64, r: usize) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(8);
+    let data = spec.generate(n, &mut rng).values;
+    let mut s = samplehist_core::sampling::with_replacement(&data, r, &mut rng);
+    s.sort_unstable();
+    s
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let r = 100_000usize;
+    let zipf = sample_of(DataSpec::Zipf { z: 2.0, domain: 100_000 }, n, r);
+    let unif = sample_of(DataSpec::UnifDup { copies: 100 }, n, r);
+
+    let mut group = c.benchmark_group("distinct_profile");
+    group.throughput(Throughput::Elements(r as u64));
+    group.bench_function("profile_zipf_100k", |b| {
+        b.iter(|| FrequencyProfile::from_sorted_sample(&zipf))
+    });
+    group.bench_function("profile_unifdup_100k", |b| {
+        b.iter(|| FrequencyProfile::from_sorted_sample(&unif))
+    });
+    group.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let sample = sample_of(DataSpec::Zipf { z: 2.0, domain: 100_000 }, n, 100_000);
+    let profile = FrequencyProfile::from_sorted_sample(&sample);
+
+    let mut group = c.benchmark_group("distinct_estimators");
+    for est in all_estimators() {
+        group.bench_function(est.name(), |b| b.iter(|| est.estimate(&profile, n)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_profile, bench_estimators
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks: record vs block sampling, reservoir
+//! maintenance, and an end-to-end CVB run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist_core::sampling::{self, cvb, CvbConfig, Reservoir, Schedule, ValidationMode};
+use samplehist_storage::{BlockSampler, HeapFile, Layout};
+
+fn heap_file(n: i64) -> HeapFile {
+    let mut rng = StdRng::seed_from_u64(2);
+    HeapFile::with_layout((0..n).collect(), 128, Layout::Random, &mut rng)
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let n = 1_000_000i64;
+    let data: Vec<i64> = (0..n).collect();
+    let file = heap_file(n);
+    let r = 50_000usize;
+
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(r as u64));
+    group.bench_function("record_with_replacement_50k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| sampling::with_replacement(&data, r, &mut rng))
+    });
+    group.bench_function("record_without_replacement_50k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| sampling::without_replacement(&data, r, &mut rng))
+    });
+    group.bench_function("block_sample_50k_tuples", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| BlockSampler::new().sample(&file, r / 128, &mut rng))
+    });
+    group.bench_function("reservoir_50k_of_1M", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            let mut res = Reservoir::new(r);
+            for p in 0..samplehist_core::BlockSource::num_blocks(&file) {
+                res.offer_all(samplehist_core::BlockSource::block(&file, p), &mut rng);
+            }
+            res.into_sample()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cvb(c: &mut Criterion) {
+    let file = heap_file(1_000_000);
+    let config = CvbConfig {
+        buckets: 200,
+        target_f: 0.2,
+        gamma: 0.05,
+        schedule: Schedule::Doubling { initial_blocks: 40 },
+        validation: ValidationMode::AllTuples,
+        max_block_fraction: 1.0,
+    };
+    c.bench_function("cvb_end_to_end_1M_k200_f02", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| cvb::run(&file, &config, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_samplers, bench_cvb
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Run the full evaluation: every table and figure of the paper, in
+//! order, printing each and writing CSVs under `target/experiments/`.
+//!
+//! ```text
+//! cargo run --release -p samplehist-bench --bin repro_all
+//! SAMPLEHIST_FULL=1 cargo run --release -p samplehist-bench --bin repro_all
+//! ```
+
+use samplehist_bench::experiments;
+use samplehist_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "samplehist evaluation — N = {}, trials = {}, seed = {:#x}{}\n",
+        scale.n,
+        scale.trials,
+        scale.seed,
+        if scale.full { " (FULL paper scale)" } else { "" }
+    );
+    let started = std::time::Instant::now();
+    for (id, tables) in experiments::run_all(&scale) {
+        println!("==== {id} ====\n");
+        experiments::emit_tables(id, &tables);
+    }
+    println!("total wall time: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,67 @@
+//! Helpers shared by the data-driven figure reproductions.
+
+use rand::Rng;
+
+use samplehist_data::DataSpec;
+use samplehist_storage::{HeapFile, Layout};
+
+/// The blocking factor used unless a figure sweeps it: 64-byte records on
+/// 8 KB pages.
+pub const DEFAULT_BLOCKING: usize = 128;
+
+/// The paper's Zipf domain, scaled: enough candidate values that the
+/// realized distinct count is data-driven, not domain-capped.
+pub fn zipf_domain(n: u64) -> usize {
+    ((n / 10).max(10_000)) as usize
+}
+
+/// Build the heap file for a figure: generate `spec`, place it with
+/// `layout`, pack `blocking` tuples per page.
+pub fn build_file(
+    spec: &DataSpec,
+    n: u64,
+    layout: Layout,
+    blocking: usize,
+    rng: &mut impl Rng,
+) -> HeapFile {
+    let dataset = spec.generate(n, rng);
+    HeapFile::with_layout(dataset.values, blocking, layout, rng)
+}
+
+/// Format a fraction as a percentage with sensible precision.
+pub fn pct(x: f64) -> String {
+    if x >= 0.1 {
+        format!("{:.1}%", x * 100.0)
+    } else {
+        format!("{:.2}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use samplehist_core::BlockSource;
+
+    #[test]
+    fn build_file_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = DataSpec::Zipf { z: 2.0, domain: 1000 };
+        let f = build_file(&spec, 10_000, Layout::Random, 100, &mut rng);
+        assert_eq!(f.num_tuples(), 10_000);
+        assert_eq!(f.num_blocks(), 100);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.012), "1.20%");
+    }
+
+    #[test]
+    fn zipf_domain_floors() {
+        assert_eq!(zipf_domain(2_000_000), 200_000);
+        assert_eq!(zipf_domain(50_000), 10_000);
+    }
+}

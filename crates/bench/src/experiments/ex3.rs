@@ -1,0 +1,157 @@
+//! Example 3: the Corollary 1 trade-off table — the "multi-functional"
+//! use of the bound (solve for sample size, for histogram size, or for
+//! error).
+
+use samplehist_core::bounds::{
+    corollary1_error, corollary1_max_buckets, corollary1_sample_size, SamplingPlan,
+};
+
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+/// Experiment identifier.
+pub const ID: &str = "ex3_bound_tradeoffs";
+
+/// Run the experiment.
+pub fn run(_scale: &Scale) -> Vec<ResultTable> {
+    vec![paper_bullets(), sample_size_grid(), plan_table()]
+}
+
+fn fmt_mega(x: f64) -> String {
+    if x >= 1.0e6 {
+        format!("{:.2}M", x / 1.0e6)
+    } else if x >= 1.0e3 {
+        format!("{:.0}K", x / 1.0e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// The three worked bullets of Example 3, verbatim.
+fn paper_bullets() -> ResultTable {
+    let gamma = 0.01;
+    let mut t = ResultTable::new(
+        "Example 3: the three directions of Corollary 1 (γ = 0.01)",
+        &["question", "parameters", "answer", "paper says"],
+    );
+    // "Even for n as large as 1Gig, ln(2n/γ) is roughly 20" — the bullets
+    // quote the ln≈20 regime, i.e. n around 10M–100M.
+    let r1 = corollary1_sample_size(500, 0.2, 10_000_000, gamma);
+    t.row(vec![
+        "sample size r".into(),
+        "k=500, f=0.2 (n=10M; ~n-independent)".into(),
+        fmt_mega(r1),
+        "~1M".into(),
+    ]);
+    let r2 = corollary1_sample_size(100, 0.1, 10_000_000, gamma);
+    t.row(vec![
+        "sample size r".into(),
+        "k=100, f=0.1 (n=10M; ~n-independent)".into(),
+        fmt_mega(r2),
+        "~800K".into(),
+    ]);
+    let k = corollary1_max_buckets(1_000_000, 0.25, 20_000_000, gamma);
+    t.row(vec![
+        "max histogram size k".into(),
+        "r=1M, n=20M, f=0.25".into(),
+        format!("{k:.0}"),
+        "≤ ~800".into(),
+    ]);
+    let f = corollary1_error(800_000, 200, 25_000_000, gamma);
+    t.row(vec![
+        "guaranteed error f".into(),
+        "r=800K, n=25M, k=200".into(),
+        format!("{:.1}%", f * 100.0),
+        "~14%".into(),
+    ]);
+    t
+}
+
+/// A (k, f) grid of required sample sizes, demonstrating linearity in k
+/// and the 1/f² law — and near-independence from n.
+fn sample_size_grid() -> ResultTable {
+    let gamma = 0.01;
+    let mut t = ResultTable::new(
+        "Corollary 1 sample sizes r(k, f) at γ = 0.01 (rows ~independent of n)",
+        &["k", "f=0.05", "f=0.10", "f=0.20", "f=0.50", "n=10M vs n=1G growth"],
+    );
+    for k in [50usize, 100, 200, 500, 1000] {
+        let r = |f: f64, n: u64| corollary1_sample_size(k, f, n, gamma);
+        let growth = r(0.1, 1 << 30) / r(0.1, 10_000_000);
+        t.row(vec![
+            k.to_string(),
+            fmt_mega(r(0.05, 10_000_000)),
+            fmt_mega(r(0.10, 10_000_000)),
+            fmt_mega(r(0.20, 10_000_000)),
+            fmt_mega(r(0.50, 10_000_000)),
+            format!("{:.2}x", growth),
+        ]);
+    }
+    t
+}
+
+/// Resolved plans at the scale this repository actually runs.
+fn plan_table() -> ResultTable {
+    let mut t = ResultTable::new(
+        "Resolved sampling plans (γ = 0.01) — when is sampling worth it?",
+        &["n", "k", "f", "record sample r", "rate", "verdict"],
+    );
+    for (n, k, f) in [
+        (2_000_000u64, 100usize, 0.10f64),
+        (2_000_000, 600, 0.10),
+        (10_000_000, 600, 0.10),
+        (10_000_000, 600, 0.20),
+        (100_000, 600, 0.05),
+    ] {
+        let plan = SamplingPlan::new(n, k, f, 0.01);
+        t.row(vec![
+            fmt_mega(n as f64),
+            k.to_string(),
+            format!("{f}"),
+            fmt_mega(plan.record_sample_size as f64),
+            format!("{:.1}%", plan.sampling_rate() * 100.0),
+            if plan.sampling_is_pointless() { "full scan cheaper" } else { "sample" }.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let tables = run(&Scale::tiny());
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 4);
+        assert_eq!(tables[1].rows.len(), 5);
+        assert!(!tables[2].rows.is_empty());
+    }
+
+    #[test]
+    fn grid_shows_linearity_in_k() {
+        let g = sample_size_grid();
+        // k column doubles 100 -> 200: the f=0.10 column must double.
+        let parse = |s: &str| -> f64 {
+            let (num, mult) = if let Some(m) = s.strip_suffix('M') {
+                (m, 1.0e6)
+            } else if let Some(kk) = s.strip_suffix('K') {
+                (kk, 1.0e3)
+            } else {
+                (s, 1.0)
+            };
+            num.parse::<f64>().expect("numeric") * mult
+        };
+        let r100 = parse(&g.rows[1][2]);
+        let r200 = parse(&g.rows[2][2]);
+        assert!((r200 / r100 - 2.0).abs() < 0.05, "{r100} -> {r200}");
+    }
+
+    #[test]
+    fn tiny_relation_with_many_bins_prefers_full_scan() {
+        let t = plan_table();
+        let last = t.rows.last().expect("rows");
+        assert_eq!(last[5], "full scan cheaper");
+    }
+}

@@ -1,0 +1,78 @@
+//! Figures 3 and 4: how the sampling **rate** and the number of **disk
+//! blocks** needed for max error ≤ 0.1 vary with the number of records.
+//!
+//! Paper findings (Section 7.2, Z = 2, random layout):
+//! * Figure 3 — the required *rate* drops roughly like `log(n)/n` as the
+//!   table grows: sampling gets relatively cheaper on bigger tables.
+//! * Figure 4 — the required number of *disk blocks* is almost constant
+//!   in n (the absolute sample size is essentially n-independent,
+//!   Corollary 1).
+
+use samplehist_data::DataSpec;
+use samplehist_storage::Layout;
+
+use super::common::{build_file, pct, zipf_domain, DEFAULT_BLOCKING};
+use crate::harness::{required_sampling, sorted_copy};
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+/// Experiment identifier.
+pub const ID: &str = "fig3_4_rate_vs_n";
+
+/// Target max error, as in the figure captions.
+const TARGET_F: f64 = 0.1;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Vec<ResultTable> {
+    let bins = scale.paper_bins();
+    let mut t = ResultTable::new(
+        format!(
+            "Figures 3+4: required sampling vs number of records \
+             (max error ≤ {TARGET_F}, Z=2, k={bins}, random layout)"
+        ),
+        &["N", "sampling rate (fig 3)", "tuples sampled", "disk blocks sampled (fig 4)"],
+    );
+
+    for n in scale.n_sweep() {
+        let spec = DataSpec::Zipf { z: 2.0, domain: zipf_domain(n) };
+        let mut rng = scale.rng(ID, 1000);
+        let file = build_file(&spec, n, Layout::Random, DEFAULT_BLOCKING, &mut rng);
+        let full = sorted_copy(&file);
+        let req = required_sampling(&file, &full, bins, TARGET_F, scale, &format!("{ID}/{n}"));
+        t.row(vec![
+            n.to_string(),
+            pct(req.mean_rate),
+            format!("{:.0}", req.mean_tuples),
+            format!("{:.0}", req.mean_blocks),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's two claims at harness-test scale: rate decreases with
+    /// N while blocks stay within a modest band.
+    #[test]
+    fn rate_drops_blocks_flat() {
+        let scale = Scale { n: 120_000, trials: 2, seed: 11, full: false };
+        let tables = run(&scale);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 4);
+        let rates: Vec<f64> = rows
+            .iter()
+            .map(|r| r[1].trim_end_matches('%').parse::<f64>().expect("numeric"))
+            .collect();
+        assert!(
+            rates.first() > rates.last(),
+            "rate should drop with N: {rates:?}"
+        );
+        let blocks: Vec<f64> =
+            rows.iter().map(|r| r[3].parse::<f64>().expect("numeric")).collect();
+        let max = blocks.iter().cloned().fold(0.0, f64::max);
+        let min = blocks.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "blocks should be ~constant: {blocks:?}");
+    }
+}

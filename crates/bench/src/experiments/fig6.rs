@@ -1,0 +1,69 @@
+//! Figure 6: required sampling rate vs the number of histogram bins
+//! (max error ≤ 0.2, Z = 2) — the cost of a histogram grows **linearly**
+//! in its bucket count, exactly as Corollary 1's `r ∝ k` predicts.
+
+use samplehist_data::DataSpec;
+use samplehist_storage::Layout;
+
+use super::common::{build_file, pct, zipf_domain, DEFAULT_BLOCKING};
+use crate::harness::{required_sampling, sorted_copy};
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+/// Experiment identifier.
+pub const ID: &str = "fig6_rate_vs_bins";
+
+/// Target max error, as in the figure caption.
+const TARGET_F: f64 = 0.2;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Vec<ResultTable> {
+    let n = scale.n;
+    let bins_sweep: &[usize] =
+        if n >= 1_000_000 { &[50, 100, 200, 300, 400, 500, 600] } else { &[50, 100, 200, 300] };
+
+    let spec = DataSpec::Zipf { z: 2.0, domain: zipf_domain(n) };
+    let mut rng = scale.rng(ID, 0);
+    let file = build_file(&spec, n, Layout::Random, DEFAULT_BLOCKING, &mut rng);
+    let full = sorted_copy(&file);
+
+    let mut t = ResultTable::new(
+        format!("Figure 6: required sampling rate vs bins (max error ≤ {TARGET_F}, Z=2, N={n})"),
+        &["bins k", "sampling rate", "tuples sampled", "tuples per bin"],
+    );
+    for &k in bins_sweep {
+        let req = required_sampling(&file, &full, k, TARGET_F, scale, &format!("{ID}/k{k}"));
+        t.row(vec![
+            k.to_string(),
+            pct(req.mean_rate),
+            format!("{:.0}", req.mean_tuples),
+            format!("{:.0}", req.mean_tuples / k as f64),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corollary 1 linearity: tuples-per-bin is roughly flat across k, so
+    /// total required sampling grows linearly with the bin count.
+    #[test]
+    fn linear_growth_in_bins() {
+        let scale = Scale { n: 150_000, trials: 2, seed: 17, full: false };
+        let tables = run(&scale);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 4);
+        let tuples: Vec<f64> =
+            rows.iter().map(|r| r[2].parse::<f64>().expect("numeric")).collect();
+        // Weak monotonicity (few trials at small n leave residual noise).
+        assert!(
+            tuples.windows(2).all(|w| w[1] > 0.8 * w[0]),
+            "required sampling must grow with k: {tuples:?}"
+        );
+        // 50 -> 300 bins (6x) should grow the requirement several-fold.
+        let ratio = tuples[3] / tuples[0];
+        assert!((2.5..14.0).contains(&ratio), "50->300 bins grew {ratio}x");
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 7: the effect of physical clustering — error vs sampling rate
+//! for the random and partially-clustered layouts (Z = 2). Clustered
+//! duplicates make whole pages redundant, so the same error needs a
+//! higher sampling rate; the paper reads this as the adaptive algorithm
+//! "correctly detecting correlation and therefore sampling more".
+//!
+//! A second table runs the actual **CVB algorithm** on all three layouts
+//! and compares its stopping point against the oracle (the ground-truth
+//! crossing measured by the harness): the Section 7(b) convergence claim
+//! plus the ≤2× oversampling argument of Section 4.2.
+
+use samplehist_core::error::fractional_max_error;
+use samplehist_core::sampling::{cvb, BlockSource, CvbConfig, Schedule, ValidationMode};
+use samplehist_data::DataSpec;
+use samplehist_storage::Layout;
+
+use super::common::{build_file, pct, zipf_domain, DEFAULT_BLOCKING};
+use crate::harness::{error_vs_rate, required_sampling, sorted_copy};
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+/// Experiment identifier.
+pub const ID: &str = "fig7_clustering_effect";
+
+/// The sampling rates on the x-axis.
+const RATES: [f64; 6] = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32];
+
+/// CVB's target error for the convergence table.
+const CVB_F: f64 = 0.2;
+
+fn layouts() -> Vec<(&'static str, Layout)> {
+    vec![
+        ("random", Layout::Random),
+        ("partially clustered (20%)", Layout::paper_partial()),
+        ("fully clustered", Layout::Clustered),
+    ]
+}
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Vec<ResultTable> {
+    let bins = scale.paper_bins();
+    let n = scale.n;
+    let spec = DataSpec::Zipf { z: 2.0, domain: zipf_domain(n) };
+
+    // Table 1: error-vs-rate curves per layout.
+    let mut curves_table = ResultTable::new(
+        format!("Figure 7: max error f' vs sampling rate by layout (Z=2, k={bins}, N={n})"),
+        &["rate", "random", "partial (20%)", "clustered"],
+    );
+    let mut curves = Vec::new();
+    for (name, layout) in layouts() {
+        let mut rng = scale.rng(ID, name.len() as u32);
+        let file = build_file(&spec, n, layout, DEFAULT_BLOCKING, &mut rng);
+        let full = sorted_copy(&file);
+        curves.push(error_vs_rate(&file, &full, bins, &RATES, scale, &format!("{ID}/{name}")));
+    }
+    for (i, &rate) in RATES.iter().enumerate() {
+        curves_table.row(vec![
+            pct(rate),
+            format!("{:.3}", curves[0][i].mean_error),
+            format!("{:.3}", curves[1][i].mean_error),
+            format!("{:.3}", curves[2][i].mean_error),
+        ]);
+    }
+
+    // Table 2: the CVB algorithm itself vs the oracle stopping point.
+    // NB: CVB must pay a *verification tax* the oracle does not — its
+    // stopping rule only fires once the cross-validation sample is big
+    // enough to certify f (Theorem 7), so CVB/oracle > 1 even on random
+    // layouts. The paper's "within 2x" claim is against the blocks needed
+    // for certification, not against ground truth nobody can see.
+    let mut cvb_table = ResultTable::new(
+        format!(
+            "CVB convergence by layout (target f={CVB_F}, k={bins}, doubling schedule): \
+             adapts to clustering; ratio to oracle includes the verification tax"
+        ),
+        &[
+            "layout",
+            "CVB blocks",
+            "CVB rate",
+            "converged",
+            "true error of result",
+            "oracle rate (ground truth)",
+            "CVB / oracle tuples",
+        ],
+    );
+    for (name, layout) in layouts() {
+        let mut blocks_sum = 0.0;
+        let mut tuples_sum = 0.0;
+        let mut err_sum = 0.0;
+        let mut converged_all = true;
+        let mut file_for_oracle = None;
+        for trial in 0..scale.trials {
+            let mut rng = scale.rng(&format!("{ID}/cvb/{name}"), trial);
+            let file = build_file(&spec, n, layout, DEFAULT_BLOCKING, &mut rng);
+            let full = sorted_copy(&file);
+            let config = CvbConfig {
+                buckets: bins,
+                target_f: CVB_F,
+                gamma: 0.05,
+                schedule: Schedule::Doubling {
+                    initial_blocks: (file.num_blocks() / 100).max(2),
+                },
+                validation: ValidationMode::AllTuples,
+                max_block_fraction: 1.0,
+            };
+            let result = cvb::run(&file, &config, &mut rng);
+            blocks_sum += result.blocks_sampled as f64;
+            tuples_sum += result.tuples_sampled as f64;
+            err_sum += fractional_max_error(
+                result.histogram.separators(),
+                &result.sample_sorted,
+                &full,
+            )
+            .max;
+            converged_all &= result.converged || result.exhausted;
+            file_for_oracle = Some((file, full));
+        }
+        let t = scale.trials as f64;
+        let (file, full) = file_for_oracle.expect("at least one trial");
+        let oracle =
+            required_sampling(&file, &full, bins, CVB_F, scale, &format!("{ID}/oracle/{name}"));
+        cvb_table.row(vec![
+            name.into(),
+            format!("{:.0}", blocks_sum / t),
+            pct(tuples_sum / t / n as f64),
+            if converged_all { "yes" } else { "capped" }.into(),
+            format!("{:.3}", err_sum / t),
+            pct(oracle.mean_rate),
+            format!("{:.2}x", (tuples_sum / t) / oracle.mean_tuples.max(1.0)),
+        ]);
+    }
+
+    vec![curves_table, cvb_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_needs_more_sampling() {
+        let scale = Scale { n: 100_000, trials: 2, seed: 19, full: false };
+        let tables = run(&scale);
+        let rows = &tables[0].rows;
+        // At a mid rate, the clustered layout's error exceeds random's.
+        let mid = &rows[2]; // 4%
+        let random: f64 = mid[1].parse().expect("numeric");
+        let clustered: f64 = mid[3].parse().expect("numeric");
+        assert!(
+            clustered > random,
+            "clustered ({clustered}) should be worse than random ({random}) at equal rate"
+        );
+
+        // CVB reads more of the clustered file than the random one.
+        let cvb_rows = &tables[1].rows;
+        let parse_pct =
+            |s: &str| s.trim_end_matches('%').parse::<f64>().expect("numeric");
+        let cvb_random = parse_pct(&cvb_rows[0][2]);
+        let cvb_clustered = parse_pct(&cvb_rows[2][2]);
+        assert!(
+            cvb_clustered > cvb_random,
+            "CVB should adapt: clustered {cvb_clustered}% vs random {cvb_random}%"
+        );
+    }
+}

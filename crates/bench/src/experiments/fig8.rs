@@ -1,0 +1,77 @@
+//! Figure 8: required sampling vs record size (max error ≤ 0.1, Z = 2,
+//! fixed row count). Bigger records mean fewer tuples per 8 KB page, so
+//! the same *tuple* requirement costs proportionally more *pages* — the
+//! paper: "as predicted, the required amount of sampling grows linearly
+//! with the record size".
+
+use samplehist_data::DataSpec;
+use samplehist_storage::{tuples_per_page, Layout, DEFAULT_PAGE_BYTES};
+
+use super::common::{build_file, zipf_domain};
+use crate::harness::{required_sampling, sorted_copy};
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+/// Experiment identifier.
+pub const ID: &str = "fig8_record_size";
+
+/// Target max error, as in the figure caption.
+const TARGET_F: f64 = 0.1;
+
+/// The paper's record-size sweep.
+const RECORD_BYTES: [usize; 4] = [16, 32, 64, 128];
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Vec<ResultTable> {
+    // The paper fixes one million records for this sweep; scale along.
+    let n = (scale.n / 2).max(100_000);
+    let bins = scale.paper_bins();
+    let spec = DataSpec::Zipf { z: 2.0, domain: zipf_domain(n) };
+
+    let mut t = ResultTable::new(
+        format!("Figure 8: required sampling vs record size (max error ≤ {TARGET_F}, Z=2, N={n})"),
+        &["record bytes", "tuples/page", "pages needed", "bytes read (MB)", "tuples needed"],
+    );
+    for &record in &RECORD_BYTES {
+        let b = tuples_per_page(DEFAULT_PAGE_BYTES, record);
+        let mut rng = scale.rng(ID, record as u32);
+        let file = build_file(&spec, n, Layout::Random, b, &mut rng);
+        let full = sorted_copy(&file);
+        let req = required_sampling(&file, &full, bins, TARGET_F, scale, &format!("{ID}/{record}"));
+        t.row(vec![
+            record.to_string(),
+            b.to_string(),
+            format!("{:.0}", req.mean_blocks),
+            format!("{:.2}", req.mean_blocks * DEFAULT_PAGE_BYTES as f64 / 1.0e6),
+            format!("{:.0}", req.mean_tuples),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pages needed grow ~linearly with record size while the tuple
+    /// requirement stays ~flat (random layout: tuples are what matter).
+    #[test]
+    fn linear_in_record_size() {
+        let scale = Scale { n: 240_000, trials: 2, seed: 23, full: false };
+        let tables = run(&scale);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 4);
+        let pages: Vec<f64> =
+            rows.iter().map(|r| r[2].parse::<f64>().expect("numeric")).collect();
+        let tuples: Vec<f64> =
+            rows.iter().map(|r| r[4].parse::<f64>().expect("numeric")).collect();
+        assert!(pages.windows(2).all(|w| w[1] > w[0]), "pages grow: {pages:?}");
+        // 16B -> 128B is 8x the record size: pages should grow ~8x.
+        let growth = pages[3] / pages[0];
+        assert!((4.0..14.0).contains(&growth), "page growth = {growth}");
+        // Tuple requirement flat within a factor 2.
+        let tmax = tuples.iter().cloned().fold(0.0, f64::max);
+        let tmin = tuples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(tmax / tmin < 2.0, "tuples should be ~flat: {tuples:?}");
+    }
+}

@@ -1,0 +1,55 @@
+//! One module per reproduced paper artifact. Each exposes
+//! `ID` (the experiment identifier used for CSV files) and
+//! `run(&Scale) -> Vec<ResultTable>`.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`ex1`] | Examples 1–2 + Theorems 1/3 error-metric comparison |
+//! | [`ex3`] | Example 3: Corollary 1 trade-off table |
+//! | [`ex4`] | Example 4: comparison with Gibbons–Matias–Poosala |
+//! | [`fig3_4`] | Figures 3–4: sampling rate / blocks vs N |
+//! | [`fig5`] | Figure 5: error vs rate for Z ∈ {0, 2, 4} |
+//! | [`fig6`] | Figure 6: required rate vs number of bins |
+//! | [`fig7`] | Figure 7: random vs partially clustered layouts (+ CVB) |
+//! | [`fig8`] | Figure 8: required sampling vs record size |
+//! | [`fig9_12`] | Figures 9–12: distinct-value estimation |
+//! | [`thm7`] | Theorem 7: stopping-rule reliability |
+//! | [`thm8`] | Theorem 8: the distinct-estimation lower bound |
+//! | [`ablations`] | design-choice ablations (schedules, validation, structures, replacement) |
+
+pub mod ablations;
+pub mod common;
+pub mod ex1;
+pub mod ex3;
+pub mod ex4;
+pub mod fig3_4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9_12;
+pub mod thm7;
+pub mod thm8;
+
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+pub use crate::output::emit as emit_tables;
+
+/// Run every experiment in paper order, returning `(id, tables)` pairs.
+pub fn run_all(scale: &Scale) -> Vec<(&'static str, Vec<ResultTable>)> {
+    vec![
+        (ex1::ID, ex1::run(scale)),
+        (ex3::ID, ex3::run(scale)),
+        (ex4::ID, ex4::run(scale)),
+        (fig3_4::ID, fig3_4::run(scale)),
+        (fig5::ID, fig5::run(scale)),
+        (fig6::ID, fig6::run(scale)),
+        (fig7::ID, fig7::run(scale)),
+        (fig8::ID, fig8::run(scale)),
+        (fig9_12::ID, fig9_12::run(scale)),
+        (thm7::ID, thm7::run(scale)),
+        (thm8::ID, thm8::run(scale)),
+        (ablations::ID, ablations::run(scale)),
+    ]
+}

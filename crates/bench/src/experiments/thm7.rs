@@ -1,0 +1,162 @@
+//! Theorem 7 — the cross-validation stopping rule, validated empirically.
+//!
+//! The theorem is two-sided: with a validation sample of size `s`,
+//! partitioning it by a candidate histogram's separators and testing
+//! `δ_S < f·s/k`
+//!
+//! * part 1: a histogram whose true error **exceeds 2f·n/k** passes the
+//!   test with probability ≤ γ when `s ≥ 4k·ln(1/γ)/f²` — the rule never
+//!   stops too early;
+//! * part 2: a histogram whose true error is **at most f·n/(2k)** fails
+//!   with probability ≤ γ when `s ≥ 16k·ln(k/γ)/f²` — the rule never
+//!   drags on forever.
+//!
+//! This experiment manufactures histograms pinned at each of the two
+//! error levels (by blending the perfect separators with displaced ones),
+//! draws many independent validation samples at the theorem's sizes, and
+//! reports the observed false-stop / false-continue rates against γ.
+
+use rand::Rng;
+
+use samplehist_core::bounds::{theorem7_lower_validation_size, theorem7_upper_validation_size};
+use samplehist_core::error::max_error_against;
+use samplehist_core::histogram::EquiHeightHistogram;
+use samplehist_core::sampling;
+
+use crate::output::ResultTable;
+use crate::scale::Scale;
+
+/// Experiment identifier.
+pub const ID: &str = "thm7_stopping_rule";
+
+const K: usize = 25;
+const F: f64 = 0.2;
+const GAMMA: f64 = 0.05;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> Vec<ResultTable> {
+    let n = scale.n.min(1_000_000);
+    let data: Vec<i64> = (0..n as i64).collect();
+    let trials = 300u32;
+
+    // A "bad" histogram: true deviation ≥ 2f·n/k, built by displacing a
+    // block of separators; and a "good" one: deviation ≤ f·n/(2k), the
+    // perfect histogram itself (deviation ~0 on duplicate-free data).
+    let good = EquiHeightHistogram::from_sorted(&data, K);
+    let bad = displaced_histogram(&data, K, 2.0 * F);
+    let good_err = max_error_against(&good, &data).relative_max();
+    let bad_err = max_error_against(&bad, &data).relative_max();
+    assert!(good_err <= F / 2.0, "good histogram err {good_err}");
+    assert!(bad_err >= 2.0 * F - 0.01, "bad histogram err {bad_err}"); // rank rounding
+
+    let s1 = theorem7_upper_validation_size(K, F, GAMMA).ceil() as usize;
+    let s2 = theorem7_lower_validation_size(K, F, GAMMA).ceil() as usize;
+
+    let mut rng = scale.rng(ID, 0);
+    let mut false_stops = 0u32; // bad histogram passes the test
+    let mut false_continues = 0u32; // good histogram fails the test
+    for _ in 0..trials {
+        if validation_passes(&bad, &data, s1, &mut rng) {
+            false_stops += 1;
+        }
+        if !validation_passes(&good, &data, s2, &mut rng) {
+            false_continues += 1;
+        }
+    }
+
+    let mut t = ResultTable::new(
+        format!(
+            "Theorem 7: stopping-rule reliability (k={K}, f={F}, γ={GAMMA}, N={n}, \
+             {trials} validation draws each; good err={good_err:.3}, bad err={bad_err:.3})"
+        ),
+        &["direction", "validation size s", "observed failure rate", "theorem's bound γ"],
+    );
+    t.row(vec![
+        "part 1: bad histogram passes (false stop)".into(),
+        s1.to_string(),
+        format!("{:.4}", false_stops as f64 / trials as f64),
+        format!("{GAMMA}"),
+    ]);
+    t.row(vec![
+        "part 2: good histogram fails (false continue)".into(),
+        s2.to_string(),
+        format!("{:.4}", false_continues as f64 / trials as f64),
+        format!("{GAMMA}"),
+    ]);
+    vec![t]
+}
+
+/// The cross-validation test of the paper's step 4b/5: draw `s` tuples,
+/// partition them by `h`'s separators, pass iff the max count deviation
+/// is below `f·s/k`.
+fn validation_passes(
+    h: &EquiHeightHistogram,
+    data: &[i64],
+    s: usize,
+    rng: &mut impl Rng,
+) -> bool {
+    let sample = sampling::with_replacement(data, s, rng);
+    let mut sorted = sample;
+    sorted.sort_unstable();
+    let counts = samplehist_core::histogram::bucket_counts(&sorted, h.separators());
+    let ideal = s as f64 / K as f64;
+    let worst = counts
+        .iter()
+        .map(|&c| (c as f64 - ideal).abs())
+        .fold(0.0f64, f64::max);
+    worst < F * s as f64 / K as f64
+}
+
+/// A histogram whose true max error is pinned at `target_rel` by moving a
+/// run of separators so one bucket swallows `target_rel·n/k` extra
+/// tuples.
+fn displaced_histogram(data: &[i64], k: usize, target_rel: f64) -> EquiHeightHistogram {
+    let perfect = EquiHeightHistogram::from_sorted(data, k);
+    let n = data.len();
+    let per = n / k;
+    let shift = (target_rel * per as f64) as usize;
+    let mut separators = perfect.separators().to_vec();
+    // Move one interior separator down by `shift` ranks: its right bucket
+    // gains `shift` tuples, its left loses them.
+    let j = k / 2;
+    let rank = (j + 1) * per;
+    separators[j] = data[rank - shift];
+    // Keep monotone (the shift is less than one bucket, so only the
+    // immediate neighbor could conflict).
+    if j > 0 {
+        assert!(separators[j - 1] <= separators[j], "displacement too large");
+    }
+    EquiHeightHistogram::from_parts(
+        separators,
+        perfect.counts().to_vec(),
+        perfect.min_value(),
+        perfect.max_value(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_rates_respect_gamma() {
+        let scale = Scale { n: 200_000, trials: 1, seed: 97, full: false };
+        let tables = run(&scale);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let rate: f64 = row[2].parse().expect("numeric");
+            // The theorem promises ≤ γ; allow binomial noise on 300
+            // draws (σ ≈ 0.0126 at p = 0.05).
+            assert!(rate <= GAMMA + 0.04, "{}: observed {rate}", row[0]);
+        }
+    }
+
+    #[test]
+    fn displaced_histogram_hits_its_target() {
+        let data: Vec<i64> = (0..100_000).collect();
+        let h = displaced_histogram(&data, K, 0.4);
+        let err = max_error_against(&h, &data).relative_max();
+        assert!((err - 0.4).abs() < 0.02, "err = {err}");
+    }
+}

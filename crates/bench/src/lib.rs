@@ -1,0 +1,34 @@
+//! # samplehist-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation (Section 7) plus the analytical examples of
+//! Sections 2–3 and the Theorem 8 lower bound.
+//!
+//! Each experiment lives in [`experiments`] as a pure
+//! `run(&Scale) -> Vec<ResultTable>` function; thin `harness = false`
+//! bench targets (under `benches/figures/`) print the tables and write
+//! CSVs, so `cargo bench --workspace` reproduces the whole evaluation.
+//! The `repro_all` binary runs everything in one go.
+//!
+//! ## Scale knobs
+//!
+//! | Env var | Effect | Default |
+//! |---|---|---|
+//! | `SAMPLEHIST_FULL=1` | paper-scale runs (N up to 20M, more trials) | off |
+//! | `SAMPLEHIST_N=<rows>` | override the base relation size | 2,000,000 |
+//! | `SAMPLEHIST_TRIALS=<t>` | trials averaged per data point | 3 |
+//! | `SAMPLEHIST_SEED=<s>` | base RNG seed | 0x5A17 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod harness;
+mod output;
+mod scale;
+
+pub use harness::{
+    error_vs_rate, required_sampling, sorted_copy, ErrorCurvePoint, RequiredSampling,
+};
+pub use output::ResultTable;
+pub use scale::Scale;

@@ -1,0 +1,145 @@
+//! Result presentation: aligned console tables plus CSV files under
+//! `target/experiments/`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One table of experiment output (≈ one figure series or paper table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultTable {
+    /// Heading shown above the table and used to compose CSV names.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of pre-formatted cells (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Start an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// If the arity does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch in {:?}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write `target/experiments/<id>.csv` (workspace-relative); returns
+    /// the path written.
+    pub fn write_csv(&self, id: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{id}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Print a batch of tables and persist each as CSV (`<id>_<index>.csv`),
+/// ignoring CSV I/O errors (the console output is the primary artifact).
+pub fn emit(id: &str, tables: &[ResultTable]) {
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        let suffix = if tables.len() == 1 { id.to_string() } else { format!("{id}_{i}") };
+        match t.write_csv(&suffix) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("[csv] failed to write {suffix}: {e}\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut t = ResultTable::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("  a  long_header"));
+        assert!(r.lines().last().expect("rows").ends_with("          x"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_round_trip_to_disk() {
+        let mut t = ResultTable::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.write_csv("unit_test_demo").expect("writable target dir");
+        let content = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(content, "x,y\n1,2\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = ResultTable::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

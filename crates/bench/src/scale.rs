@@ -1,0 +1,97 @@
+//! Experiment sizing: one struct, read once from the environment, shared
+//! by every figure so CI-speed and paper-scale runs use the same code.
+
+/// Resolved experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Base relation size (the paper's default was 10,000,000).
+    pub n: u64,
+    /// Trials averaged per data point.
+    pub trials: u32,
+    /// Base RNG seed; each (experiment, trial) derives its own stream.
+    pub seed: u64,
+    /// Whether paper-scale mode is on.
+    pub full: bool,
+}
+
+impl Scale {
+    /// Read `SAMPLEHIST_FULL` / `SAMPLEHIST_N` / `SAMPLEHIST_TRIALS` /
+    /// `SAMPLEHIST_SEED` from the environment.
+    pub fn from_env() -> Self {
+        let full = std::env::var("SAMPLEHIST_FULL").map(|v| v == "1").unwrap_or(false);
+        let n = parse_env("SAMPLEHIST_N").unwrap_or(if full { 10_000_000 } else { 2_000_000 });
+        let trials = parse_env("SAMPLEHIST_TRIALS").unwrap_or(if full { 5 } else { 3 }) as u32;
+        let seed = parse_env("SAMPLEHIST_SEED").unwrap_or(0x5A17);
+        Self { n, trials, seed, full }
+    }
+
+    /// A small fixed scale for tests of the harness itself.
+    pub fn tiny() -> Self {
+        Self { n: 60_000, trials: 2, seed: 7, full: false }
+    }
+
+    /// The Figure 3/4 sweep over the number of records: the paper used
+    /// 5, 10, 15, 20 million; scaled down proportionally otherwise.
+    pub fn n_sweep(&self) -> Vec<u64> {
+        [1u64, 2, 3, 4].iter().map(|&m| m * self.n / 2).collect()
+    }
+
+    /// Histogram size used throughout Section 7 (600 bins ≈ one 8 KB page
+    /// of integer separators). Scaled down for tiny harness tests.
+    pub fn paper_bins(&self) -> usize {
+        if self.n >= 1_000_000 {
+            600
+        } else {
+            100
+        }
+    }
+
+    /// Derive a deterministic per-(experiment, trial) RNG.
+    pub fn rng(&self, experiment: &str, trial: u32) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        // Cheap stable string hash (FNV-1a) for the experiment name.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in experiment.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ h ^ ((trial as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        )
+    }
+}
+
+fn parse_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_proportional() {
+        let s = Scale { n: 2_000_000, trials: 3, seed: 1, full: false };
+        assert_eq!(s.n_sweep(), vec![1_000_000, 2_000_000, 3_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn rng_streams_are_distinct_and_stable() {
+        use rand::RngCore;
+        let s = Scale::tiny();
+        let a1 = s.rng("fig3", 0).next_u64();
+        let a2 = s.rng("fig3", 0).next_u64();
+        let b = s.rng("fig3", 1).next_u64();
+        let c = s.rng("fig5", 0).next_u64();
+        assert_eq!(a1, a2, "same stream is reproducible");
+        assert_ne!(a1, b, "trials differ");
+        assert_ne!(a1, c, "experiments differ");
+    }
+
+    #[test]
+    fn paper_bins_by_scale() {
+        assert_eq!(Scale::tiny().paper_bins(), 100);
+        let s = Scale { n: 2_000_000, trials: 3, seed: 1, full: false };
+        assert_eq!(s.paper_bins(), 600);
+    }
+}

@@ -1,0 +1,338 @@
+//! The paper's sampling bounds: Theorems 4, 5, 7 and Corollary 1.
+//!
+//! All bounds share the shape "r grows linearly in k, inversely with the
+//! squared relative error f², and only logarithmically in n and 1/γ" —
+//! the counter-intuitive consequence (Section 3.3) being that beyond a
+//! modest size, *bigger databases do not need bigger samples*.
+//!
+//! Every function returns `f64` (the exact formula value); callers round up
+//! with `.ceil()` when they need a concrete sample size. Inputs are checked
+//! with assertions because a nonsensical bound (γ ≤ 0, f > 1, δ > n/k) is
+//! always a caller bug, never a data condition.
+
+/// Theorem 4: sample size sufficient for a δ-deviant k-histogram of a
+/// value set of size `n` with probability ≥ 1 − γ:
+///
+/// ```text
+/// r ≥ 4 n² ln(2n/γ) / (k δ²)       (requires δ ≤ n/k)
+/// ```
+pub fn theorem4_sample_size(n: u64, k: usize, delta: f64, gamma: f64) -> f64 {
+    check_common(k, gamma);
+    let n = n as f64;
+    let k = k as f64;
+    assert!(delta > 0.0, "δ must be positive");
+    assert!(
+        delta <= n / k + 1e-9,
+        "Theorem 4 requires δ ≤ n/k (δ = {delta}, n/k = {})",
+        n / k
+    );
+    4.0 * n * n * (2.0 * n / gamma).ln() / (k * delta * delta)
+}
+
+/// Corollary 1 with δ = f·n/k: sample size sufficient for relative max
+/// error ≤ f with probability ≥ 1 − γ:
+///
+/// ```text
+/// r ≥ 4 k ln(2n/γ) / f²            (0 < f < 1)
+/// ```
+pub fn corollary1_sample_size(k: usize, f: f64, n: u64, gamma: f64) -> f64 {
+    check_common(k, gamma);
+    check_f(f);
+    4.0 * k as f64 * (2.0 * n as f64 / gamma).ln() / (f * f)
+}
+
+/// Corollary 1 solved for the error: the relative max error `f` guaranteed
+/// (w.p. ≥ 1 − γ) by a sample of size `r`:
+///
+/// ```text
+/// f = sqrt( 4 k ln(2n/γ) / r )
+/// ```
+///
+/// Values above 1 mean the sample is too small for any guarantee at this k.
+pub fn corollary1_error(r: u64, k: usize, n: u64, gamma: f64) -> f64 {
+    check_common(k, gamma);
+    assert!(r > 0, "sample size must be positive");
+    (4.0 * k as f64 * (2.0 * n as f64 / gamma).ln() / r as f64).sqrt()
+}
+
+/// Corollary 1 solved for the histogram size: the largest bucket count `k`
+/// supportable by a sample of size `r` at relative error `f`:
+///
+/// ```text
+/// k = r f² / (4 ln(2n/γ))
+/// ```
+///
+/// (Example 3's "Determining Histogram Size": r = 1M, n = 20M, f = 0.25
+/// gives k ≤ ~800.)
+pub fn corollary1_max_buckets(r: u64, f: f64, n: u64, gamma: f64) -> f64 {
+    assert!(gamma > 0.0 && gamma < 1.0, "γ must be in (0,1), got {gamma}");
+    assert!(r > 0, "sample size must be positive");
+    check_f(f);
+    r as f64 * f * f / (4.0 * (2.0 * n as f64 / gamma).ln())
+}
+
+/// Theorem 5: sample size sufficient for the sampled histogram to be
+/// δ-**separated** (Definition 2) from the perfect k-histogram with
+/// probability ≥ 1 − γ:
+///
+/// ```text
+/// r ≥ 12 n² ln(2k/γ) / δ²          (requires δ ≤ n/k)
+/// ```
+pub fn theorem5_sample_size(n: u64, k: usize, delta: f64, gamma: f64) -> f64 {
+    check_common(k, gamma);
+    let n = n as f64;
+    assert!(delta > 0.0, "δ must be positive");
+    assert!(
+        delta <= n / k as f64 + 1e-9,
+        "Theorem 5 requires δ ≤ n/k (δ = {delta}, n/k = {})",
+        n / k as f64
+    );
+    12.0 * n * n * (2.0 * k as f64 / gamma).ln() / (delta * delta)
+}
+
+/// Theorem 7 part 1: validation-sample size at which a histogram whose
+/// true deviation **exceeds** `2·f·n/k` is unlikely (probability ≤ γ) to
+/// *pass* the cross-validation test `δ_S ≤ f·s/k`:
+///
+/// ```text
+/// s ≥ 4 k ln(1/γ) / f²
+/// ```
+pub fn theorem7_upper_validation_size(k: usize, f: f64, gamma: f64) -> f64 {
+    check_common(k, gamma);
+    check_f(f);
+    4.0 * k as f64 * (1.0 / gamma).ln() / (f * f)
+}
+
+/// Theorem 7 part 2: validation-sample size at which a histogram whose
+/// true deviation is **at most** `f·n/(2k)` is unlikely (probability ≤ γ)
+/// to *fail* the test `δ_S ≥ f·s/k`:
+///
+/// ```text
+/// s ≥ 16 k ln(k/γ) / f²
+/// ```
+///
+/// Together the two parts make cross-validation a reliable stopping rule:
+/// it neither stops too early (part 1) nor samples forever (part 2); a
+/// histogram passing the test has deviation ≤ 2f·n/k with high
+/// probability.
+pub fn theorem7_lower_validation_size(k: usize, f: f64, gamma: f64) -> f64 {
+    check_common(k, gamma);
+    check_f(f);
+    16.0 * k as f64 * (k as f64 / gamma).ln() / (f * f)
+}
+
+/// A resolved sampling plan: the concrete numbers a system needs to run a
+/// sampling-based `ANALYZE` with guarantees, bundled from the individual
+/// theorems. See Example 3 for the paper's own walk-through of these
+/// trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingPlan {
+    /// Relation size.
+    pub n: u64,
+    /// Histogram buckets.
+    pub k: usize,
+    /// Target relative max error (Definition 1's `f`).
+    pub f: f64,
+    /// Failure probability γ.
+    pub gamma: f64,
+    /// Record-level sample size from Corollary 1, rounded up and capped at
+    /// `n` (sampling more tuples than exist is a full scan).
+    pub record_sample_size: u64,
+    /// Validation-sample size making the cross-validation test reliable in
+    /// both directions (max of Theorem 7's two parts), rounded up.
+    pub validation_sample_size: u64,
+}
+
+impl SamplingPlan {
+    /// Build a plan for the given parameters.
+    pub fn new(n: u64, k: usize, f: f64, gamma: f64) -> Self {
+        let r = corollary1_sample_size(k, f, n, gamma).ceil() as u64;
+        let s1 = theorem7_upper_validation_size(k, f, gamma).ceil() as u64;
+        let s2 = theorem7_lower_validation_size(k, f, gamma).ceil() as u64;
+        Self {
+            n,
+            k,
+            f,
+            gamma,
+            record_sample_size: r.min(n),
+            validation_sample_size: s1.max(s2).min(n),
+        }
+    }
+
+    /// Is full scanning cheaper than the sample the bound asks for? (The
+    /// paper, Example 3: "or to decide that it may not be cost effective
+    /// to use random sampling for desired histogram size/error".)
+    pub fn sampling_is_pointless(&self) -> bool {
+        self.record_sample_size >= self.n
+    }
+
+    /// The sampling fraction `r/n`.
+    pub fn sampling_rate(&self) -> f64 {
+        self.record_sample_size as f64 / self.n as f64
+    }
+}
+
+fn check_common(k: usize, gamma: f64) {
+    assert!(k > 0, "need at least one bucket");
+    assert!(gamma > 0.0 && gamma < 1.0, "γ must be in (0,1), got {gamma}");
+}
+
+fn check_f(f: f64) {
+    assert!(f > 0.0 && f <= 1.0, "relative error f must be in (0,1], got {f}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Section 3.3: "Even for n as large as 1Gig, we obtain that
+    /// ln(2n/γ) is roughly 20" (γ = 0.01).
+    #[test]
+    fn log_term_magnitude() {
+        let n = 1u64 << 30;
+        let log_term = (2.0 * n as f64 / 0.01).ln();
+        assert!((log_term - 26.0).abs() < 1.0 || log_term > 20.0);
+        // For the n the paper's experiments use (10M-1G) it sits in 20-27.
+        let log_10m = (2.0_f64 * 1.0e7 / 0.01).ln();
+        assert!(log_10m > 20.0 && log_10m < 22.0, "ln(2e9) = {log_10m}");
+    }
+
+    /// Paper Example 3, bullet 1: k = 500, f = 0.2 -> r ≈ 1M; and
+    /// k = 100, f = 0.1 -> r ≈ 800K, "for essentially all reasonable n".
+    #[test]
+    fn example_3_sample_sizes() {
+        let gamma = 0.01;
+        for n in [10_000_000u64, 100_000_000, 1_000_000_000] {
+            let r1 = corollary1_sample_size(500, 0.2, n, gamma);
+            assert!(
+                (0.9e6..1.4e6).contains(&r1),
+                "k=500,f=0.2,n={n}: r = {r1:.0} not ~1M"
+            );
+            let r2 = corollary1_sample_size(100, 0.1, n, gamma);
+            assert!(
+                (0.75e6..1.1e6).contains(&r2),
+                "k=100,f=0.1,n={n}: r = {r2:.0} not ~800K"
+            );
+        }
+    }
+
+    /// Paper Example 3, bullet 2: r = 1M, n = 20M, f = 0.25 -> k ≤ ~800.
+    #[test]
+    fn example_3_histogram_size() {
+        let k = corollary1_max_buckets(1_000_000, 0.25, 20_000_000, 0.01);
+        assert!((700.0..900.0).contains(&k), "k = {k}");
+    }
+
+    /// Paper Example 3, bullet 3: r = 800K, n = 25M, k = 200 -> f ≤ ~14%.
+    #[test]
+    fn example_3_histogram_error() {
+        let f = corollary1_error(800_000, 200, 25_000_000, 0.01);
+        assert!((0.13..0.155).contains(&f), "f = {f}");
+    }
+
+    /// Theorem 4 and Corollary 1 agree at δ = f·n/k.
+    #[test]
+    fn theorem4_corollary1_consistency() {
+        let (n, k, f, gamma) = (1_000_000u64, 250usize, 0.15f64, 0.05f64);
+        let delta = f * n as f64 / k as f64;
+        let r_thm = theorem4_sample_size(n, k, delta, gamma);
+        let r_cor = corollary1_sample_size(k, f, n, gamma);
+        assert!((r_thm - r_cor).abs() / r_cor < 1e-12);
+    }
+
+    /// Corollary 1's two directions are inverses of each other.
+    #[test]
+    fn corollary1_round_trips() {
+        let (n, k, gamma) = (5_000_000u64, 300usize, 0.01f64);
+        for f in [0.05, 0.1, 0.25, 0.5, 1.0] {
+            let r = corollary1_sample_size(k, f, n, gamma).ceil() as u64;
+            let f_back = corollary1_error(r, k, n, gamma);
+            assert!(f_back <= f + 1e-9, "f_back = {f_back} > f = {f}");
+            let k_back = corollary1_max_buckets(r, f, n, gamma);
+            assert!(k_back + 1e-6 >= k as f64, "k_back = {k_back} < {k}");
+        }
+    }
+
+    /// The sample size is monotone the right way in every parameter.
+    #[test]
+    fn monotonicity() {
+        let base = corollary1_sample_size(100, 0.1, 1_000_000, 0.01);
+        assert!(corollary1_sample_size(200, 0.1, 1_000_000, 0.01) > base, "more buckets");
+        assert!(corollary1_sample_size(100, 0.05, 1_000_000, 0.01) > base, "less error");
+        assert!(corollary1_sample_size(100, 0.1, 4_000_000, 0.01) > base, "more data (log)");
+        assert!(corollary1_sample_size(100, 0.1, 1_000_000, 0.001) > base, "more confidence");
+    }
+
+    /// Section 3.3: "essentially independent of n" — quadrupling n grows
+    /// the bound by only a few percent.
+    #[test]
+    fn near_independence_of_n() {
+        let r1 = corollary1_sample_size(100, 0.1, 10_000_000, 0.01);
+        let r2 = corollary1_sample_size(100, 0.1, 40_000_000, 0.01);
+        assert!(r2 / r1 < 1.08, "ratio = {}", r2 / r1);
+    }
+
+    /// Section 3.3: choosing γ = 2/n changes the log term to ln(n²) and
+    /// "at most doubles" the sample size relative to a constant γ ≥ 1/n.
+    #[test]
+    fn negligible_failure_probability_costs_at_most_double() {
+        let n = 10_000_000u64;
+        let r_const = corollary1_sample_size(100, 0.1, n, 0.01);
+        let r_tiny = corollary1_sample_size(100, 0.1, n, 2.0 / n as f64);
+        assert!(r_tiny < 2.0 * r_const, "{} vs {}", r_tiny, r_const);
+    }
+
+    #[test]
+    fn theorem5_costs_more_than_theorem4() {
+        // δ-separation is stronger, so (for equal δ) it must need at least
+        // as much sampling whenever k ≥ 3 (the regimes of interest).
+        let (n, gamma) = (1_000_000u64, 0.01f64);
+        for k in [10usize, 100, 600] {
+            let delta = 0.1 * n as f64 / k as f64;
+            let r4 = theorem4_sample_size(n, k, delta, gamma);
+            let r5 = theorem5_sample_size(n, k, delta, gamma);
+            assert!(r5 > r4, "k={k}: r5 = {r5} <= r4 = {r4}");
+        }
+    }
+
+    #[test]
+    fn theorem7_part2_dominates_part1() {
+        for k in [10usize, 100, 600] {
+            let s1 = theorem7_upper_validation_size(k, 0.1, 0.01);
+            let s2 = theorem7_lower_validation_size(k, 0.1, 0.01);
+            assert!(s2 > s1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sampling_plan_resolves_and_caps() {
+        let plan = SamplingPlan::new(10_000_000, 100, 0.1, 0.01);
+        assert!(!plan.sampling_is_pointless());
+        assert!(plan.sampling_rate() < 0.1);
+        assert!(plan.record_sample_size > 0);
+        assert!(plan.validation_sample_size > 0);
+
+        // Tiny relation: the bound exceeds n and the plan says "full scan".
+        let plan = SamplingPlan::new(10_000, 600, 0.05, 0.01);
+        assert!(plan.sampling_is_pointless());
+        assert_eq!(plan.record_sample_size, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must be in (0,1)")]
+    fn bad_gamma_rejected() {
+        let _ = corollary1_sample_size(10, 0.1, 1000, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "f must be in (0,1]")]
+    fn bad_f_rejected() {
+        let _ = corollary1_sample_size(10, 1.5, 1000, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires δ ≤ n/k")]
+    fn theorem4_delta_range_enforced() {
+        let _ = theorem4_sample_size(1000, 10, 200.0, 0.01);
+    }
+}

@@ -1,0 +1,29 @@
+//! Sampling-size bounds and worst-case error envelopes (paper Sections 2–4).
+//!
+//! This module contains the closed-form trade-offs that let a system answer
+//! "how much sampling is enough?" *before* touching the data:
+//!
+//! * [`chaudhuri`] — the paper's own results: Theorem 4 and Corollary 1
+//!   (record-level sampling for δ-deviant histograms), Theorem 5
+//!   (δ-separation), Theorem 7 (cross-validation thresholds used by the
+//!   adaptive CVB algorithm), each exposed in all the "multi-functional"
+//!   directions Example 3 demonstrates (solve for r, for f, or for k).
+//! * [`gmp`] — Theorem 6, the Gibbons–Matias–Poosala bound from VLDB 1997,
+//!   the closest prior work; implemented so the Example 4 comparison can
+//!   be reproduced quantitatively.
+//! * [`range`] — Theorems 1 and 3: worst-case absolute/relative error
+//!   envelopes for range-query result-size estimation under perfect,
+//!   Δavg-bounded, Δvar-bounded and Δmax-bounded histograms, plus the
+//!   adversarial instances showing the Theorem 1 bounds are tight.
+
+pub mod chaudhuri;
+pub mod gmp;
+pub mod range;
+
+pub use chaudhuri::{
+    corollary1_error, corollary1_max_buckets, corollary1_sample_size, theorem4_sample_size,
+    theorem5_sample_size, theorem7_lower_validation_size, theorem7_upper_validation_size,
+    SamplingPlan,
+};
+pub use gmp::GmpBound;
+pub use range::{RangeErrorEnvelope, WorstCaseFactors};

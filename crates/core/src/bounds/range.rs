@@ -1,0 +1,169 @@
+//! Theorems 1 and 3 — worst-case range-query estimation-error envelopes.
+//!
+//! Theorem 1 (lower bounds, all tight): for a range query with output size
+//! `s = t·n/k`,
+//!
+//! * even a **perfect** equi-height histogram cannot guarantee absolute
+//!   error below `2n/k` (one partial bucket of slop at each end of the
+//!   range) nor relative error below `2/t`;
+//! * a histogram bounded only in **average** error `Δavg = f·n/k` cannot
+//!   guarantee better than `(1 + f·k/4) · 2n/k` — the aggregate bound lets
+//!   an adversary concentrate `f·n/2` of misplaced tuples where the query
+//!   looks;
+//! * a histogram bounded only in **variance** error `Δvar = f·n/k` cannot
+//!   guarantee better than `(1 + f·√(k·t/8)) · 2n/k`, degrading with the
+//!   query size `t`.
+//!
+//! Theorem 3 (upper bound): a histogram with **max** error `Δmax = f·n/k`
+//! *guarantees* absolute error `≤ (1 + f) · 2n/k` and relative error
+//! `≤ (1 + f) · 2/t` for **all** range queries — within a factor `(1 + f)`
+//! of the perfect histogram. This is the payoff of the max error metric.
+
+/// A worst-case error envelope for range-query size estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeErrorEnvelope {
+    /// Absolute error bound α (in tuples).
+    pub absolute: f64,
+    /// Relative error bound β (dimensionless; output size `s = t·n/k`
+    /// must be positive for this to be meaningful).
+    pub relative: f64,
+}
+
+/// The multiplicative factors by which each error-metric regime inflates
+/// the perfect histogram's `2n/k` / `2/t` envelope. Computing them
+/// separately makes the Example 1 "13.5× / 2.8× / 1.05×" comparison
+/// direct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstCaseFactors {
+    /// Δavg-bounded histograms: `1 + f·k/4` (Theorem 1.2).
+    pub avg: f64,
+    /// Δvar-bounded histograms: `1 + f·√(k·t/8)` (Theorem 1.3).
+    pub var: f64,
+    /// Δmax-bounded histograms: `1 + f` (Theorem 3).
+    pub max: f64,
+}
+
+impl WorstCaseFactors {
+    /// Evaluate the three factors at histogram error fraction `f`, bucket
+    /// count `k`, and query size parameter `t` (output size `s = t·n/k`).
+    pub fn new(f: f64, k: usize, t: f64) -> Self {
+        assert!(f >= 0.0, "error fraction must be non-negative");
+        assert!(k > 0, "need at least one bucket");
+        assert!(t > 0.0, "query size parameter t must be positive");
+        let k = k as f64;
+        Self {
+            avg: 1.0 + f * k / 4.0,
+            var: 1.0 + f * (k * t / 8.0).sqrt(),
+            max: 1.0 + f,
+        }
+    }
+}
+
+/// Theorem 1.1: the envelope of a **perfect** equi-height histogram —
+/// `α = 2n/k`, `β = 2/t`. No summary of the data can beat this; it is the
+/// irreducible interpolation slop of the two partial buckets at the ends
+/// of any range.
+pub fn perfect_envelope(n: u64, k: usize, t: f64) -> RangeErrorEnvelope {
+    assert!(k > 0 && t > 0.0);
+    RangeErrorEnvelope { absolute: 2.0 * n as f64 / k as f64, relative: 2.0 / t }
+}
+
+/// Theorem 1.2: worst-case envelope when only `Δavg ≤ f·n/k` is known.
+pub fn avg_bounded_envelope(n: u64, k: usize, t: f64, f: f64) -> RangeErrorEnvelope {
+    scale(perfect_envelope(n, k, t), WorstCaseFactors::new(f, k, t).avg)
+}
+
+/// Theorem 1.3: worst-case envelope when only `Δvar ≤ f·n/k` is known.
+pub fn var_bounded_envelope(n: u64, k: usize, t: f64, f: f64) -> RangeErrorEnvelope {
+    scale(perfect_envelope(n, k, t), WorstCaseFactors::new(f, k, t).var)
+}
+
+/// Theorem 3: guaranteed envelope when `Δmax ≤ f·n/k` — the only regime
+/// where the bound *holds for all queries* rather than being a lower bound
+/// on the worst case.
+pub fn max_bounded_envelope(n: u64, k: usize, t: f64, f: f64) -> RangeErrorEnvelope {
+    scale(perfect_envelope(n, k, t), WorstCaseFactors::new(f, k, t).max)
+}
+
+fn scale(e: RangeErrorEnvelope, factor: f64) -> RangeErrorEnvelope {
+    RangeErrorEnvelope { absolute: e.absolute * factor, relative: e.relative * factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 1: k = 1000, f = 0.05, t = 10. The perfect histogram
+    /// gives α = 0.002·n and β = 0.2; the avg-bounded histogram is worse
+    /// by 13.5×, the var-bounded by ≈2.8×, and (continuing in Example 2)
+    /// the max-bounded by only 1.05×.
+    #[test]
+    fn example_1_factors() {
+        let factors = WorstCaseFactors::new(0.05, 1000, 10.0);
+        assert!((factors.avg - 13.5).abs() < 1e-12, "avg factor = {}", factors.avg);
+        assert!((factors.var - 2.767).abs() < 0.01, "var factor = {}", factors.var);
+        assert!((factors.max - 1.05).abs() < 1e-12, "max factor = {}", factors.max);
+    }
+
+    #[test]
+    fn example_1_absolute_and_relative() {
+        let n = 1_000_000u64;
+        let perfect = perfect_envelope(n, 1000, 10.0);
+        assert!((perfect.absolute - 0.002 * n as f64).abs() < 1e-9);
+        assert!((perfect.relative - 0.2).abs() < 1e-12);
+
+        let maxb = max_bounded_envelope(n, 1000, 10.0, 0.05);
+        assert!((maxb.absolute - 0.0021 * n as f64).abs() < 1e-6);
+        assert!((maxb.relative - 0.21).abs() < 1e-12);
+    }
+
+    /// The variance-bounded envelope degrades as the query grows (the
+    /// paper: "increasing the value of s will further increase the error");
+    /// the avg- and max-bounded factors do not depend on t.
+    #[test]
+    fn var_envelope_grows_with_query_size() {
+        let f10 = WorstCaseFactors::new(0.05, 1000, 10.0);
+        let f40 = WorstCaseFactors::new(0.05, 1000, 40.0);
+        assert!(f40.var > f10.var);
+        assert_eq!(f40.avg, f10.avg);
+        assert_eq!(f40.max, f10.max);
+    }
+
+    /// The avg-bounded worst case explodes linearly with k while the
+    /// max-bounded one is flat — Example 2's "as the value of k increases,
+    /// the gap between the various notions of error can increase
+    /// unboundedly".
+    #[test]
+    fn gap_grows_unboundedly_with_k() {
+        let small = WorstCaseFactors::new(0.05, 100, 10.0);
+        let large = WorstCaseFactors::new(0.05, 10_000, 10.0);
+        assert!((large.avg / small.avg) > 35.0);
+        assert_eq!(small.max, large.max);
+    }
+
+    /// Ordering sanity: for any parameters with f > 0, k ≥ 8, t ≤ k, the
+    /// max-bounded guarantee is the tightest and avg-bounded the loosest
+    /// at t ≤ k/2 (where √(kt/8) ≤ k/4 ⇔ t ≤ k/2).
+    #[test]
+    fn envelope_ordering() {
+        for &(k, t, f) in &[(100usize, 10.0f64, 0.1f64), (1000, 100.0, 0.05), (600, 50.0, 0.2)] {
+            let w = WorstCaseFactors::new(f, k, t);
+            assert!(w.max < w.var, "max < var at k={k},t={t}");
+            assert!(w.var <= w.avg, "var <= avg at k={k},t={t}");
+        }
+    }
+
+    #[test]
+    fn zero_error_collapses_to_perfect() {
+        let w = WorstCaseFactors::new(0.0, 1000, 10.0);
+        assert_eq!(w.avg, 1.0);
+        assert_eq!(w.var, 1.0);
+        assert_eq!(w.max, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "t must be positive")]
+    fn zero_t_rejected() {
+        let _ = WorstCaseFactors::new(0.1, 10, 0.0);
+    }
+}

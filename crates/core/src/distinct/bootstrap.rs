@@ -1,0 +1,87 @@
+//! The bootstrap estimator for the number of classes (Smith & van Belle
+//! 1984) — another classical baseline from the species-estimation
+//! literature the paper's Section 6 surveys.
+//!
+//! The bootstrap corrects the raw sample count by each observed value's
+//! estimated probability of having been missed by a hypothetical
+//! resample:
+//!
+//! ```text
+//! d̂ = d + Σ_j f_j · (1 − j/r)^r
+//! ```
+//!
+//! (a value seen `j` times has plug-in frequency `j/r`; a resample of
+//! size `r` misses it with probability `(1 − j/r)^r`). Like the
+//! jackknife, it is derived for the resampling view of the sample rather
+//! than for the finite population, so it under-corrects hard at database
+//! sampling fractions — each missed value can hide up to `n/r` distinct
+//! population values, but the bootstrap adds at most `d` in total.
+
+use super::{clamp_feasible, DistinctEstimator, FrequencyProfile};
+
+/// Smith–van Belle bootstrap: `d + Σ f_j·(1 − j/r)^r`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bootstrap;
+
+impl DistinctEstimator for Bootstrap {
+    fn name(&self) -> &'static str {
+        "Bootstrap"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let r = profile.sample_size() as f64;
+        let mut e = profile.distinct_in_sample() as f64;
+        for (j, f_j) in profile.iter() {
+            let miss = (1.0 - j as f64 / r).powf(r);
+            e += f_j as f64 * miss;
+        }
+        clamp_feasible(e, profile, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_on_singletons() {
+        // All singletons: d̂ = d·(1 + (1 − 1/r)^r) ≈ d·(1 + 1/e).
+        let r = 1000u64;
+        let p = FrequencyProfile::from_pairs(vec![(1, r)]);
+        let e = Bootstrap.estimate(&p, 1_000_000);
+        let expected = r as f64 * (1.0 + (1.0 - 1.0 / r as f64).powf(r as f64));
+        assert!((e - expected).abs() < 1e-9, "e = {e}, expected {expected}");
+        assert!((e / r as f64 - 1.368).abs() < 0.01);
+    }
+
+    #[test]
+    fn high_multiplicity_values_add_nothing() {
+        // A value seen 100 times in a sample of 100: (1-1)^r = 0.
+        let p = FrequencyProfile::from_pairs(vec![(100, 1)]);
+        assert_eq!(Bootstrap.estimate(&p, 10_000), 1.0);
+    }
+
+    #[test]
+    fn bounded_by_twice_sample_distinct() {
+        // The correction is at most d, so d̂ ≤ 2d always — the structural
+        // reason it under-estimates at low sampling fractions.
+        let p = FrequencyProfile::from_pairs(vec![(1, 50), (2, 30), (5, 20)]);
+        let d = p.distinct_in_sample() as f64;
+        let e = Bootstrap.estimate(&p, 100_000_000);
+        assert!(e <= 2.0 * d + 1e-9, "e = {e}, d = {d}");
+        assert!(e >= d);
+    }
+
+    #[test]
+    fn between_sample_count_and_jackknife_on_mixed_profiles() {
+        use crate::distinct::Jackknife1;
+        // Bootstrap's singleton correction f1/e is weaker than the
+        // jackknife's f1·(r−1)/r.
+        let p = FrequencyProfile::from_pairs(vec![(1, 40), (2, 30)]);
+        let boot = Bootstrap.estimate(&p, 1_000_000);
+        let jack = Jackknife1.estimate(&p, 1_000_000);
+        let d = p.distinct_in_sample() as f64;
+        assert!(boot > d);
+        assert!(boot < jack, "bootstrap {boot} vs jackknife {jack}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Chao's nonparametric estimators — classical baselines from the species
+//! estimation literature (paper references [4] and the Chao–Lee coverage
+//! variant used in the database evaluations of Haas et al.).
+
+use super::{clamp_feasible, DistinctEstimator, FrequencyProfile};
+
+/// Chao (1984): `d̂ = d + f₁²/(2·f₂)`, a lower-bound-style estimator built
+/// on the singleton/doubleton ratio. When `f₂ = 0` the bias-corrected
+/// variant `d + f₁(f₁−1)/2` is used (the standard fix; the raw formula
+/// divides by zero).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Chao84;
+
+impl DistinctEstimator for Chao84 {
+    fn name(&self) -> &'static str {
+        "Chao84"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let d = profile.distinct_in_sample() as f64;
+        let f1 = profile.f1() as f64;
+        let f2 = profile.f2() as f64;
+        let add = if f2 > 0.0 { f1 * f1 / (2.0 * f2) } else { f1 * (f1 - 1.0) / 2.0 };
+        clamp_feasible(d + add, profile, n)
+    }
+}
+
+/// Chao & Lee (1992): coverage-based estimation with a skew correction,
+/// `d̂ = d/Ĉ + r(1−Ĉ)/Ĉ · γ̂²` where `Ĉ = 1 − f₁/r` is the Good–Turing
+/// sample coverage and `γ̂²` the estimated squared coefficient of
+/// variation of the population frequencies. Degenerates gracefully:
+/// all-singleton samples (Ĉ = 0) fall back to the linear scale-up.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaoLee;
+
+impl DistinctEstimator for ChaoLee {
+    fn name(&self) -> &'static str {
+        "ChaoLee"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let d = profile.distinct_in_sample() as f64;
+        let r = profile.sample_size() as f64;
+        let coverage = 1.0 - profile.f1() as f64 / r;
+        if coverage <= 0.0 {
+            // No coverage information at all: the least-wrong fallback is
+            // the linear scale-up (all-singletons is its one good case).
+            return clamp_feasible(d * n as f64 / r, profile, n);
+        }
+        let gamma2 = profile.squared_cv_estimate();
+        let e = d / coverage + r * (1.0 - coverage) / coverage * gamma2;
+        clamp_feasible(e, profile, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chao84_formula() {
+        // f1 = 8, f2 = 4, d = 15 -> 15 + 64/8 = 23.
+        let p = FrequencyProfile::from_pairs(vec![(1, 8), (2, 4), (3, 3)]);
+        assert_eq!(Chao84.estimate(&p, 100_000), 23.0);
+    }
+
+    #[test]
+    fn chao84_f2_zero_bias_corrected() {
+        // f1 = 5, f2 = 0 -> d + 5·4/2 = 8 + 10.
+        let p = FrequencyProfile::from_pairs(vec![(1, 5), (3, 3)]);
+        assert_eq!(Chao84.estimate(&p, 100_000), 18.0);
+    }
+
+    #[test]
+    fn chao84_no_singletons_returns_sample_count() {
+        let p = FrequencyProfile::from_pairs(vec![(2, 10)]);
+        assert_eq!(Chao84.estimate(&p, 100_000), 10.0);
+    }
+
+    #[test]
+    fn chao_lee_uniform_case_is_coverage_scaleup() {
+        // Homogeneous multiplicities: γ̂² = 0, so d̂ = d/Ĉ.
+        let p = FrequencyProfile::from_pairs(vec![(1, 10), (2, 45)]);
+        let r = 100.0;
+        let coverage = 1.0 - 10.0 / r;
+        let expected = 55.0 / coverage;
+        let e = ChaoLee.estimate(&p, 1_000_000);
+        // γ̂² may be slightly positive; allow a modest band above d/Ĉ.
+        assert!(e >= expected - 1e-9 && e < expected * 1.5, "e = {e}");
+    }
+
+    #[test]
+    fn chao_lee_all_singletons_falls_back_to_scaleup() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 50)]);
+        let e = ChaoLee.estimate(&p, 5000);
+        assert_eq!(e, 5000.0); // 50 * 5000/50 = 5000 = n (capped anyway)
+    }
+
+    #[test]
+    fn chao_lee_respects_cap() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 99), (2, 1)]);
+        let e = ChaoLee.estimate(&p, 200);
+        assert!(e <= 200.0);
+    }
+}

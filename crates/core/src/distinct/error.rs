@@ -1,0 +1,87 @@
+//! Error metrics for distinct-value estimators (Definitions in paper
+//! Section 6.1/6.2).
+//!
+//! Two very different yardsticks:
+//!
+//! * [`ratio_error`] — the classical (and, per Theorem 8, hopeless)
+//!   metric: how far off `d̂` is from `d` *multiplicatively*, folded to be
+//!   ≥ 1 in both directions.
+//! * [`rel_error`] — the paper's proposed alternative: the error **as a
+//!   fraction of the table size**, `(d − d̂)/n`. Theorem 8 forbids small
+//!   ratio error; nothing forbids small rel-error, and Section 7's
+//!   Figures 11–12 show GEE achieving it. An optimizer that consumes
+//!   `d/n` (e.g. "will duplicate elimination shrink this relation?") gets
+//!   reliable answers even where `d` itself is unknowable.
+
+/// The folded ratio error of Definition 5: `d̂/d` if `d̂ ≥ d`, else
+/// `d/d̂`; always ≥ 1 for positive inputs. Degenerate estimates (zero,
+/// negative, or non-finite `d̂`) yield `f64::INFINITY`.
+///
+/// # Panics
+/// If `d == 0` (a non-empty relation always has at least one distinct
+/// value, so this is a caller bug).
+pub fn ratio_error(d_hat: f64, d: u64) -> f64 {
+    assert!(d > 0, "a non-empty relation has d ≥ 1");
+    if !d_hat.is_finite() || d_hat <= 0.0 {
+        return f64::INFINITY;
+    }
+    let d = d as f64;
+    (d_hat / d).max(d / d_hat)
+}
+
+/// The paper's rel-error: `(d − d̂)/n`, signed (negative means
+/// overestimate). Bounded in `[−1, 1]` whenever `d̂` is clamped to
+/// `[0, n]`.
+pub fn rel_error(d_hat: f64, d: u64, n: u64) -> f64 {
+    assert!(n > 0, "relation must be non-empty");
+    (d as f64 - d_hat) / n as f64
+}
+
+/// `|rel_error|` — what the Figure 11/12 reproductions plot.
+pub fn abs_rel_error(d_hat: f64, d: u64, n: u64) -> f64 {
+    rel_error(d_hat, d, n).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_error_folds_both_directions() {
+        assert_eq!(ratio_error(200.0, 100), 2.0);
+        assert_eq!(ratio_error(50.0, 100), 2.0);
+        assert_eq!(ratio_error(100.0, 100), 1.0);
+    }
+
+    #[test]
+    fn ratio_error_degenerate_estimates() {
+        assert_eq!(ratio_error(0.0, 10), f64::INFINITY);
+        assert_eq!(ratio_error(-5.0, 10), f64::INFINITY);
+        assert_eq!(ratio_error(f64::INFINITY, 10), f64::INFINITY);
+        assert_eq!(ratio_error(f64::NAN, 10), f64::INFINITY);
+    }
+
+    /// The paper's own numeric example (Section 6.2): n = 100,000,
+    /// d = 500, e = 5,000 — ratio error 10 but rel-error only 0.045.
+    #[test]
+    fn paper_example_rel_vs_ratio() {
+        let (n, d, e) = (100_000u64, 500u64, 5_000.0f64);
+        assert_eq!(ratio_error(e, d), 10.0);
+        assert!((rel_error(e, d, n) - (-0.045)).abs() < 1e-12);
+        assert!((abs_rel_error(e, d, n) - 0.045).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error_sign_convention() {
+        // Underestimate -> positive, overestimate -> negative.
+        assert!(rel_error(10.0, 100, 1000) > 0.0);
+        assert!(rel_error(500.0, 100, 1000) < 0.0);
+        assert_eq!(rel_error(100.0, 100, 1000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d ≥ 1")]
+    fn zero_d_rejected() {
+        let _ = ratio_error(1.0, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The paper's new distinct-value estimator (Section 6.2) — known in the
+//! later literature as **GEE**, the Guaranteed-Error Estimator.
+//!
+//! ```text
+//! e = √(n/r) · max(f₁, 1) + Σ_{j≥2} f_j
+//! ```
+//!
+//! Rationale (Section 6.2): values seen **at least twice** almost surely
+//! have population frequency well above `n/r`, so counting them once each
+//! is safe — the second summation. Values seen **exactly once** are the
+//! ambiguous ones: each singleton could represent anywhere from 1 to
+//! ~`n/r` distinct population values. Multiplying `f₁` by the *geometric
+//! mean* `√(n/r)` of those extremes equalizes the worst-case ratio error
+//! in both directions, which is what makes the estimator optimal against
+//! the Theorem 8 lower bound (its worst ratio error is `O(√(n/r))`,
+//! matching the `Ω(√(n/r))` impossibility up to the log factor).
+
+use super::{clamp_feasible, DistinctEstimator, FrequencyProfile};
+
+/// The paper's estimator: `√(n/r)·max(f₁,1) + Σ_{j≥2} f_j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gee;
+
+impl DistinctEstimator for Gee {
+    fn name(&self) -> &'static str {
+        "GEE"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let r = profile.sample_size();
+        debug_assert!(n >= r, "population smaller than sample");
+        let f1_plus = profile.f1().max(1) as f64;
+        let e = (n as f64 / r as f64).sqrt() * f1_plus + profile.repeated() as f64;
+        clamp_feasible(e, profile, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_on_a_known_profile() {
+        // r = 100 (f1 = 40 singletons, 30 doubletons), n = 10000.
+        let p = FrequencyProfile::from_pairs(vec![(1, 40), (2, 30)]);
+        assert_eq!(p.sample_size(), 100);
+        let e = Gee.estimate(&p, 10_000);
+        // sqrt(100)*40 + 30 = 430.
+        assert!((e - 430.0).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn f1_zero_uses_the_plus_one_guard() {
+        // Every sampled value seen twice: f1+ = 1.
+        let p = FrequencyProfile::from_pairs(vec![(2, 50)]);
+        let e = Gee.estimate(&p, 10_000);
+        // sqrt(10000/100)*1 + 50 = 60.
+        assert!((e - 60.0).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn never_below_sample_distinct() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 5), (3, 5)]);
+        // n barely above r: sqrt(n/r) ~ 1, e ~ 10 = d_sample.
+        let e = Gee.estimate(&p, 21);
+        assert!(e >= 10.0);
+    }
+
+    #[test]
+    fn capped_at_relation_size() {
+        // Tiny sample, all singletons, huge n: raw e = sqrt(n/r)·r can be
+        // below n, but with r = 1 the clamp matters on small n.
+        let p = FrequencyProfile::from_pairs(vec![(1, 4)]);
+        let e = Gee.estimate(&p, 8);
+        assert!(e <= 8.0);
+    }
+
+    /// On all-distinct data GEE's ratio error is ≤ √(n/r) by construction:
+    /// truth d = n, estimate ≥ √(n/r)·E[f1] ≈ √(n/r)·r ... verified on the
+    /// two extreme profiles.
+    #[test]
+    fn worst_case_ratio_is_sqrt_n_over_r() {
+        let n = 1_000_000u64;
+        let r = 10_000u64;
+        let bound = (n as f64 / r as f64).sqrt();
+
+        // Extreme A: all n values distinct -> sample all singletons.
+        let p = FrequencyProfile::from_pairs(vec![(1, r)]);
+        let e = Gee.estimate(&p, n);
+        let truth = n as f64;
+        let ratio = (truth / e).max(e / truth);
+        assert!(ratio <= bound + 1e-9, "ratio {ratio} > {bound}");
+
+        // Extreme B: each singleton is a value with huge multiplicity that
+        // just happened to be seen once -> truth ~ d_sample.
+        let truth_b = r as f64;
+        let e_b = Gee.estimate(&p, n);
+        let ratio_b = (truth_b / e_b).max(e_b / truth_b);
+        assert!(ratio_b <= bound + 1e-9, "ratio {ratio_b} > {bound}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Goodman's (1949) unique unbiased estimator — and its spectacular
+//! numerical instability, which is the reason the paper (and Haas et al.
+//! before it) dismiss unbiasedness as the wrong goal for this problem.
+//!
+//! For simple random sampling without replacement of `r` tuples from `n`,
+//! Goodman showed there is exactly one unbiased estimator of the distinct
+//! count of the form `d̂ = Σ_i a_i·f_i` (valid for populations whose
+//! maximum multiplicity is ≤ r). Rather than transcribing the closed form,
+//! we *derive* the coefficients from the unbiasedness conditions, which
+//! are triangular in the population multiplicity `m`:
+//!
+//! ```text
+//! Σ_{i=1}^{m} a_i · P_m(i) = 1      for every m = 1, 2, …, r
+//! ```
+//!
+//! where `P_m(i)` is the hypergeometric probability that a value of
+//! multiplicity `m` shows up exactly `i` times in the sample. Solving top
+//! down gives `a_1 = n/r`, then each `a_m` in turn. The coefficients
+//! alternate in sign and grow like `((n−r)/r)^m`, so for any realistic
+//! sampling fraction the estimate explodes after a handful of terms —
+//! [`GoodmanInstability`] reports exactly how.
+
+use super::{DistinctEstimator, FrequencyProfile};
+use crate::math::{hypergeometric_pmf, KahanSum};
+
+/// Coefficients are abandoned once they exceed this magnitude — beyond it
+/// the alternating sum is pure floating-point noise anyway.
+const MAGNITUDE_LIMIT: f64 = 1.0e300;
+
+/// Deriving more than this many coefficients is pointless: the blow-up
+/// always happens long before (and the O(m²) solve would start to matter).
+const MAX_COEFFICIENTS: u64 = 512;
+
+/// Why Goodman's estimator could not be evaluated reliably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoodmanInstability {
+    /// A coefficient exceeded the magnitude limit (1e300): the alternating series
+    /// has left the representable range.
+    CoefficientOverflow {
+        /// The multiplicity at which the solve gave up.
+        at_multiplicity: u64,
+    },
+    /// The sample contains a value with multiplicity beyond the
+    /// coefficient cap (512).
+    MultiplicityTooLarge {
+        /// The offending multiplicity.
+        multiplicity: u64,
+    },
+    /// A hypergeometric probability underflowed to zero, so the triangular
+    /// solve has no pivot.
+    DegeneratePivot {
+        /// The multiplicity whose pivot vanished.
+        at_multiplicity: u64,
+    },
+}
+
+/// Goodman's unbiased estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Goodman;
+
+impl Goodman {
+    /// Evaluate the estimator, reporting instability instead of returning
+    /// garbage. `Ok` values are exactly unbiased over the sampling design
+    /// (see the exhaustive-enumeration test) — but may still be wildly
+    /// far from `d` on any *individual* sample; that variance is the
+    /// paper's point.
+    pub fn try_estimate(
+        &self,
+        profile: &FrequencyProfile,
+        n: u64,
+    ) -> Result<f64, GoodmanInstability> {
+        let r = profile.sample_size();
+        assert!(n >= r, "population smaller than sample");
+        let m_max = profile.max_multiplicity();
+        if m_max > MAX_COEFFICIENTS {
+            return Err(GoodmanInstability::MultiplicityTooLarge { multiplicity: m_max });
+        }
+
+        // Triangular solve for a_1 ..= a_{m_max}.
+        let mut coef: Vec<f64> = Vec::with_capacity(m_max as usize);
+        for m in 1..=m_max {
+            let pivot = hypergeometric_pmf(n, m, r, m);
+            if pivot <= 0.0 {
+                return Err(GoodmanInstability::DegeneratePivot { at_multiplicity: m });
+            }
+            let mut partial = KahanSum::new();
+            for i in 1..m {
+                partial.add(coef[(i - 1) as usize] * hypergeometric_pmf(n, m, r, i));
+            }
+            let a_m = (1.0 - partial.total()) / pivot;
+            if !a_m.is_finite() || a_m.abs() > MAGNITUDE_LIMIT {
+                return Err(GoodmanInstability::CoefficientOverflow { at_multiplicity: m });
+            }
+            coef.push(a_m);
+        }
+
+        let mut sum = KahanSum::new();
+        for (j, f_j) in profile.iter() {
+            sum.add(coef[(j - 1) as usize] * f_j as f64);
+        }
+        Ok(sum.total())
+    }
+}
+
+impl DistinctEstimator for Goodman {
+    fn name(&self) -> &'static str {
+        "Goodman"
+    }
+
+    /// Trait-level evaluation: instability is surfaced as
+    /// `f64::INFINITY` — a deliberately unusable sentinel, because an
+    /// "estimate" from a blown-up alternating series would be
+    /// indistinguishable from a real one. Note also that *stable* Goodman
+    /// estimates are intentionally **not** clamped to `[d_sample, n]`:
+    /// unbiasedness is the estimator's defining property and clamping
+    /// would destroy it (and hide the wild variance the paper highlights).
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        self.try_estimate(profile, n).unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive unbiasedness check: enumerate every r-subset of a small
+    /// population and verify the estimator averages to exactly d.
+    fn assert_unbiased(population: &[i64], r: usize) {
+        let n = population.len();
+        let mut d_true: Vec<i64> = population.to_vec();
+        d_true.sort_unstable();
+        d_true.dedup();
+        let d_true = d_true.len() as f64;
+
+        // Iterate all C(n, r) index subsets.
+        let mut idx: Vec<usize> = (0..r).collect();
+        let mut total = 0.0f64;
+        let mut count = 0u64;
+        loop {
+            let mut sample: Vec<i64> = idx.iter().map(|&i| population[i]).collect();
+            sample.sort_unstable();
+            let p = FrequencyProfile::from_sorted_sample(&sample);
+            total += Goodman
+                .try_estimate(&p, n as u64)
+                .expect("small case must be stable");
+            count += 1;
+
+            // Next combination.
+            let mut i = r;
+            loop {
+                if i == 0 {
+                    let mean = total / count as f64;
+                    assert!(
+                        (mean - d_true).abs() < 1e-6,
+                        "E[d̂] = {mean}, d = {d_true} over {count} samples"
+                    );
+                    return;
+                }
+                i -= 1;
+                if idx[i] != i + n - r {
+                    idx[i] += 1;
+                    for j in i + 1..r {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbiased_on_all_distinct_population() {
+        assert_unbiased(&[1, 2, 3, 4, 5], 2);
+    }
+
+    #[test]
+    fn unbiased_with_duplicates() {
+        // Multiplicities [2,1,1,1,1], d = 5, n = 6, r = 3 ≥ max mult.
+        assert_unbiased(&[1, 1, 2, 3, 4, 5], 3);
+    }
+
+    #[test]
+    fn unbiased_with_heavier_duplication() {
+        // Multiplicities [3,2,1], d = 3, n = 6, r = 4.
+        assert_unbiased(&[7, 7, 7, 8, 8, 9], 4);
+    }
+
+    #[test]
+    fn first_coefficient_is_scale_up() {
+        // A profile of only singletons uses only a_1 = n/r.
+        let p = FrequencyProfile::from_pairs(vec![(1, 10)]);
+        let e = Goodman.try_estimate(&p, 1000).expect("stable");
+        assert!((e - 10.0 * 100.0).abs() < 1e-6, "e = {e}");
+    }
+
+    #[test]
+    fn blows_up_at_realistic_scale() {
+        // n = 1M, r = 1000 (0.1%): coefficients grow like ((n−r)/r)^m ≈
+        // 10^{3m}, so a value seen ~120 times pushes the solve past any
+        // representable magnitude (or drives the pivot to underflow) —
+        // Goodman is unusable exactly where databases need it.
+        let p = FrequencyProfile::from_pairs(vec![(1, 500), (2, 100), (120, 5)]);
+        let result = Goodman.try_estimate(&p, 1_000_000);
+        assert!(
+            matches!(
+                result,
+                Err(GoodmanInstability::CoefficientOverflow { .. }
+                    | GoodmanInstability::DegeneratePivot { .. })
+            ),
+            "expected blow-up, got {result:?}"
+        );
+        assert_eq!(Goodman.estimate(&p, 1_000_000), f64::INFINITY);
+    }
+
+    #[test]
+    fn huge_multiplicity_rejected_cheaply() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 10), (100_000, 1)]);
+        let result = Goodman.try_estimate(&p, 10_000_000);
+        assert!(matches!(
+            result,
+            Err(GoodmanInstability::MultiplicityTooLarge { multiplicity: 100_000 })
+        ));
+    }
+
+    #[test]
+    fn full_scan_is_exact() {
+        // r = n: every coefficient is 1 and the estimate is d_sample = d.
+        let p = FrequencyProfile::from_pairs(vec![(1, 3), (2, 2), (5, 1)]);
+        let n = p.sample_size();
+        let e = Goodman.try_estimate(&p, n).expect("stable");
+        assert!((e - 6.0).abs() < 1e-9, "e = {e}");
+    }
+}

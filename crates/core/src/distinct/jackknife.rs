@@ -1,0 +1,99 @@
+//! Jackknife estimators (Burnham & Overton lineage — paper references
+//! [2, 3]; the finite-population form follows Haas, Naughton, Seshadri &
+//! Stokes, VLDB 1995).
+
+use super::{clamp_feasible, DistinctEstimator, FrequencyProfile};
+
+/// The classic first-order jackknife for species estimation:
+/// `d̂ = d + f₁·(r−1)/r`. Derived for infinite populations; on database
+/// columns it barely corrects the raw sample count and underestimates
+/// heavily at low sampling fractions — which is exactly why it appears
+/// here as a baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jackknife1;
+
+impl DistinctEstimator for Jackknife1 {
+    fn name(&self) -> &'static str {
+        "Jackknife1"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let d = profile.distinct_in_sample() as f64;
+        let r = profile.sample_size() as f64;
+        let e = if r <= 1.0 { d } else { d + profile.f1() as f64 * (r - 1.0) / r };
+        clamp_feasible(e, profile, n)
+    }
+}
+
+/// The finite-population ("unsmoothed") first-order jackknife used in the
+/// database literature: `d̂ = d / (1 − (1−q)·f₁/r)` with sampling fraction
+/// `q = r/n`. Inflates the sample count by the estimated probability that
+/// a value was missed entirely, inferred from the singleton rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FiniteJackknife;
+
+impl DistinctEstimator for FiniteJackknife {
+    fn name(&self) -> &'static str {
+        "FiniteJackknife"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let d = profile.distinct_in_sample() as f64;
+        let r = profile.sample_size() as f64;
+        let q = r / n as f64;
+        let denom = 1.0 - (1.0 - q) * profile.f1() as f64 / r;
+        let e = if denom <= 0.0 { n as f64 } else { d / denom };
+        clamp_feasible(e, profile, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jackknife1_formula() {
+        // d = 10, f1 = 4, r = 16 -> 10 + 4·15/16 = 13.75.
+        let p = FrequencyProfile::from_pairs(vec![(1, 4), (2, 6)]);
+        assert!((Jackknife1.estimate(&p, 100_000) - 13.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jackknife1_single_tuple_sample() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 1)]);
+        assert_eq!(Jackknife1.estimate(&p, 1000), 1.0);
+    }
+
+    #[test]
+    fn finite_jackknife_formula() {
+        // d = 10, f1 = 4, r = 16, n = 160 -> q = 0.1,
+        // denom = 1 - 0.9*4/16 = 0.775, e = 12.903...
+        let p = FrequencyProfile::from_pairs(vec![(1, 4), (2, 6)]);
+        let e = FiniteJackknife.estimate(&p, 160);
+        assert!((e - 10.0 / 0.775).abs() < 1e-9, "e = {e}");
+    }
+
+    #[test]
+    fn finite_jackknife_all_singletons_near_full_scan() {
+        // q -> 1: denom -> 1, estimate -> d (the sample IS the data).
+        let p = FrequencyProfile::from_pairs(vec![(1, 100)]);
+        let e = FiniteJackknife.estimate(&p, 100);
+        assert_eq!(e, 100.0);
+    }
+
+    #[test]
+    fn finite_jackknife_degenerate_denominator_caps_at_n() {
+        // All singletons at a tiny fraction: denom = 1-(1-q) = q, e = d/q
+        // = d·n/r = n when d = r; stays capped.
+        let p = FrequencyProfile::from_pairs(vec![(1, 10)]);
+        let e = FiniteJackknife.estimate(&p, 1_000_000);
+        assert_eq!(e, 1_000_000.0);
+    }
+
+    #[test]
+    fn finite_corrects_more_than_classic_at_low_fraction() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 50), (2, 25)]);
+        let n = 1_000_000;
+        assert!(FiniteJackknife.estimate(&p, n) > Jackknife1.estimate(&p, n));
+    }
+}

@@ -1,0 +1,64 @@
+//! The two naive baselines every serious estimator must beat.
+
+use super::{clamp_feasible, DistinctEstimator, FrequencyProfile};
+
+/// "What you see is what there is": `d̂ = d_sample`. Always an
+/// underestimate (it ignores every value the sample missed), but its error
+/// *relative to n* is exactly the quantity the paper's rel-error metric
+/// shows to be benign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleDistinct;
+
+impl DistinctEstimator for SampleDistinct {
+    fn name(&self) -> &'static str {
+        "SampleDistinct"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        clamp_feasible(profile.distinct_in_sample() as f64, profile, n)
+    }
+}
+
+/// Linear extrapolation: `d̂ = d_sample · n/r`. Correct only when every
+/// value has multiplicity 1 (then the sample's distinct count scales with
+/// its size); wildly wrong on duplicate-heavy data, where it can exceed
+/// the true `d` by a factor of `n/r`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScaleUp;
+
+impl DistinctEstimator for ScaleUp {
+    fn name(&self) -> &'static str {
+        "ScaleUp"
+    }
+
+    fn estimate(&self, profile: &FrequencyProfile, n: u64) -> f64 {
+        let scale = n as f64 / profile.sample_size() as f64;
+        clamp_feasible(profile.distinct_in_sample() as f64 * scale, profile, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_distinct_is_the_floor() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 7), (2, 3)]);
+        assert_eq!(SampleDistinct.estimate(&p, 1000), 10.0);
+    }
+
+    #[test]
+    fn scale_up_scales_linearly() {
+        // r = 13, d_sample = 10, n = 1300 -> d̂ = 1000.
+        let p = FrequencyProfile::from_pairs(vec![(1, 7), (2, 3)]);
+        assert_eq!(ScaleUp.estimate(&p, 1300), 1000.0);
+    }
+
+    #[test]
+    fn scale_up_capped_at_n() {
+        let p = FrequencyProfile::from_pairs(vec![(1, 10)]);
+        // d_sample·n/r = 10·100/10 = 100 = n: fine; with a bigger scale it
+        // would cap.
+        assert_eq!(ScaleUp.estimate(&p, 100), 100.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The three bucket-deviation metrics of paper Section 2.2/2.3.
+
+/// Δavg, Δvar and Δmax of a vector of bucket counts against the ideal
+/// equi-height size `n/k`, exactly as defined in Sections 2.2 and 2.3:
+///
+/// ```text
+/// Δavg = Σ |b_j − n/k| / k
+/// Δvar = sqrt( Σ |b_j − n/k|² / k )
+/// Δmax = max |b_j − n/k|
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Average absolute deviation from `n/k`.
+    pub delta_avg: f64,
+    /// Root-mean-square deviation from `n/k`.
+    pub delta_var: f64,
+    /// Maximum absolute deviation from `n/k` (Definition 1).
+    pub delta_max: f64,
+    /// The ideal bucket size `n/k`.
+    pub ideal: f64,
+}
+
+impl ErrorSummary {
+    /// The paper's relative deviation `f = Δmax / (n/k)`; the headline
+    /// "10% error" numbers in the paper are this quantity.
+    pub fn relative_max(&self) -> f64 {
+        if self.ideal == 0.0 {
+            0.0
+        } else {
+            self.delta_max / self.ideal
+        }
+    }
+
+    /// Relative form of Δavg.
+    pub fn relative_avg(&self) -> f64 {
+        if self.ideal == 0.0 {
+            0.0
+        } else {
+            self.delta_avg / self.ideal
+        }
+    }
+
+    /// Relative form of Δvar.
+    pub fn relative_var(&self) -> f64 {
+        if self.ideal == 0.0 {
+            0.0
+        } else {
+            self.delta_var / self.ideal
+        }
+    }
+}
+
+/// Compute the [`ErrorSummary`] for bucket counts summing (by convention,
+/// not requirement) to `total`; the ideal size is `total / counts.len()`.
+///
+/// # Panics
+/// If `counts` is empty.
+pub fn summarize_counts(counts: &[u64], total: u64) -> ErrorSummary {
+    assert!(!counts.is_empty(), "cannot summarize zero buckets");
+    let k = counts.len() as f64;
+    let ideal = total as f64 / k;
+    let mut sum_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut max_abs = 0.0f64;
+    for &c in counts {
+        let dev = (c as f64 - ideal).abs();
+        sum_abs += dev;
+        sum_sq += dev * dev;
+        if dev > max_abs {
+            max_abs = dev;
+        }
+    }
+    ErrorSummary {
+        delta_avg: sum_abs / k,
+        delta_var: (sum_sq / k).sqrt(),
+        delta_max: max_abs,
+        ideal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 2, verbatim: k = 10 buckets sized
+    /// 88, 101, 87, 88, 89, 180, 90, 88, 103, 86 over n = 1000 give
+    /// Δavg = 16.8, Δvar = 27.5, Δmax = 80.0.
+    #[test]
+    fn example_2_reference_values() {
+        let counts = [88u64, 101, 87, 88, 89, 180, 90, 88, 103, 86];
+        let n: u64 = counts.iter().sum();
+        assert_eq!(n, 1000);
+        let s = summarize_counts(&counts, n);
+        assert!((s.delta_avg - 16.8).abs() < 1e-9, "Δavg = {}", s.delta_avg);
+        // Exact RMS is sqrt(742.8) ≈ 27.25; the paper reports it rounded
+        // up to one decimal as 27.5.
+        assert!((s.delta_var - 27.25).abs() < 0.01, "Δvar = {}", s.delta_var);
+        assert_eq!(s.delta_max, 80.0);
+        assert_eq!(s.ideal, 100.0);
+        assert!((s.relative_max() - 0.8).abs() < 1e-12);
+    }
+
+    /// Theorem 2 direction: Δmax dominates both aggregates on any counts.
+    #[test]
+    fn theorem_2_ordering_on_examples() {
+        let cases: [&[u64]; 4] = [
+            &[10, 10, 10, 10],
+            &[0, 40],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            &[100, 0, 0, 0, 0, 0],
+        ];
+        for counts in cases {
+            let n: u64 = counts.iter().sum();
+            let s = summarize_counts(counts, n);
+            assert!(s.delta_avg <= s.delta_max + 1e-12);
+            assert!(s.delta_var <= s.delta_max + 1e-12);
+            // And the RMS always dominates the mean (Cauchy-Schwarz).
+            assert!(s.delta_avg <= s.delta_var + 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_counts_have_zero_error() {
+        let s = summarize_counts(&[25, 25, 25, 25], 100);
+        assert_eq!(s.delta_avg, 0.0);
+        assert_eq!(s.delta_var, 0.0);
+        assert_eq!(s.delta_max, 0.0);
+        assert_eq!(s.relative_max(), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_never_deviates_when_total_matches() {
+        let s = summarize_counts(&[42], 42);
+        assert_eq!(s.delta_max, 0.0);
+    }
+
+    #[test]
+    fn total_mismatch_is_measured_not_hidden() {
+        // Callers may pass a "total" different from the counts' sum (e.g.
+        // validating a small sample against n/k of the population); the
+        // deviation is then against total/k, as Definition 3 requires.
+        let s = summarize_counts(&[5, 5], 20);
+        assert_eq!(s.ideal, 10.0);
+        assert_eq!(s.delta_max, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero buckets")]
+    fn empty_counts_rejected() {
+        let _ = summarize_counts(&[], 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! δ-separation — Definition 2's bucket-boundary error metric.
+//!
+//! Two k-histograms `H` and `H*` over the same value set `V` are
+//! **δ-separated** if for every `j` the symmetric difference of the
+//! tuple sets `B_j` and `B*_j` has size at most δ. This is strictly
+//! stronger than δ-deviation: it bounds not just how *many* tuples each
+//! bucket holds but *which* tuples, i.e. how far the separators moved.
+//! Theorem 5 bounds the sampling needed to guarantee it.
+
+use crate::histogram::{count_le, EquiHeightHistogram};
+
+/// Result of [`delta_separation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparationReport {
+    /// Per-bucket symmetric-difference sizes `|B_j Δ B*_j|`.
+    pub per_bucket: Vec<u64>,
+    /// The metric itself: `max_j |B_j Δ B*_j|`.
+    pub max: u64,
+}
+
+/// Compute the δ-separation of two k-histograms with respect to the
+/// (sorted) value set `V` they both summarize: the maximum, over buckets,
+/// of the symmetric difference `|B_j Δ B*_j|` where bucket membership is
+/// determined by each histogram's separators over `sorted_data`.
+///
+/// Both histograms must have the same number of buckets (Definition 2 is
+/// only stated for equal k).
+///
+/// # Panics
+/// If the bucket counts differ or either histogram is degenerate.
+pub fn delta_separation(
+    h: &EquiHeightHistogram,
+    h_star: &EquiHeightHistogram,
+    sorted_data: &[i64],
+) -> SeparationReport {
+    assert_eq!(
+        h.num_buckets(),
+        h_star.num_buckets(),
+        "δ-separation is defined for histograms with equal bucket counts"
+    );
+    let k = h.num_buckets();
+    let n = sorted_data.len() as u64;
+
+    // Bucket j of a histogram covers the half-open domain interval
+    // (lower_j, upper_j] with lower_0 = -inf and upper_{k-1} = +inf.
+    // Over sorted data, |B_j| = le(upper) - le(lower) where le(-inf) = 0
+    // and le(+inf) = n.
+    let le = |v: i64| -> u64 { count_le(sorted_data, v) as u64 };
+    let bounds = |hist: &EquiHeightHistogram, j: usize| -> (u64, u64) {
+        let lo = if j == 0 { 0 } else { le(hist.separators()[j - 1]) };
+        let hi = if j == k - 1 { n } else { le(hist.separators()[j]) };
+        (lo, hi)
+    };
+
+    let mut per_bucket = Vec::with_capacity(k);
+    let mut max = 0u64;
+    for j in 0..k {
+        let (a_lo, a_hi) = bounds(h, j);
+        let (b_lo, b_hi) = bounds(h_star, j);
+        let size_a = a_hi - a_lo;
+        let size_b = b_hi - b_lo;
+        // Intersection of the two rank intervals [a_lo, a_hi) and
+        // [b_lo, b_hi): because buckets are domain intervals, their tuple
+        // sets over sorted data are rank ranges, so set operations reduce
+        // to interval arithmetic on ranks.
+        let i_lo = a_lo.max(b_lo);
+        let i_hi = a_hi.min(b_hi);
+        let inter = i_hi.saturating_sub(i_lo);
+        let sym = size_a + size_b - 2 * inter;
+        if sym > max {
+            max = sym;
+        }
+        per_bucket.push(sym);
+    }
+    SeparationReport { per_bucket, max }
+}
+
+/// Is `h` δ-separated from `h_star` over `sorted_data` (Definition 2)?
+pub fn is_delta_separated(
+    h: &EquiHeightHistogram,
+    h_star: &EquiHeightHistogram,
+    sorted_data: &[i64],
+    delta: u64,
+) -> bool {
+    delta_separation(h, h_star, sorted_data).max <= delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_have_zero_separation() {
+        let data: Vec<i64> = (0..100).collect();
+        let h = EquiHeightHistogram::from_sorted(&data, 5);
+        let rep = delta_separation(&h, &h, &data);
+        assert_eq!(rep.max, 0);
+        assert!(rep.per_bucket.iter().all(|&s| s == 0));
+        assert!(is_delta_separated(&h, &h, &data, 0));
+    }
+
+    #[test]
+    fn shifted_separator_counts_both_sides() {
+        let data: Vec<i64> = (1..=10).collect();
+        // H: buckets (-inf,5], (5,+inf) -> {1..5}, {6..10}
+        let h = EquiHeightHistogram::from_parts(vec![5], vec![5, 5], 1, 10);
+        // H*: buckets (-inf,7], (7,+inf) -> {1..7}, {8..10}
+        let h_star = EquiHeightHistogram::from_parts(vec![7], vec![7, 3], 1, 10);
+        let rep = delta_separation(&h, &h_star, &data);
+        // B_1 Δ B*_1 = {6,7}, B_2 Δ B*_2 = {6,7}.
+        assert_eq!(rep.per_bucket, vec![2, 2]);
+        assert_eq!(rep.max, 2);
+        assert!(is_delta_separated(&h, &h_star, &data, 2));
+        assert!(!is_delta_separated(&h, &h_star, &data, 1));
+    }
+
+    #[test]
+    fn separation_dominates_deviation() {
+        // |B_j| and |B*_j| can match while the buckets hold different
+        // tuples: deviation is blind to that, separation is not.
+        let data: Vec<i64> = (1..=9).collect();
+        // H: (-inf,3], (3,6], (6,inf) -> sizes 3,3,3
+        let h = EquiHeightHistogram::from_parts(vec![3, 6], vec![3, 3, 3], 1, 9);
+        // H*: same bucket sizes over the same data but via different
+        // separators is impossible for distinct data... so use shifted
+        // separators with unequal sizes and check the inequality instead.
+        let h_star = EquiHeightHistogram::from_parts(vec![4, 6], vec![4, 2, 3], 1, 9);
+        let rep = delta_separation(&h, &h_star, &data);
+        let dev_h_star = crate::error::max_error_against(&h_star, &data);
+        // max_j |B_j Δ B*_j| >= max_j ||B_j| - |B*_j|| which relates the
+        // two histograms' counts; here H is (near-)perfect so the
+        // deviation of H* is bounded by its separation from H plus H's own
+        // deviation (0 on this data).
+        assert!(rep.max as f64 + 1e-9 >= dev_h_star.delta_max);
+    }
+
+    #[test]
+    fn disjoint_interval_intersection_is_empty() {
+        let data: Vec<i64> = (1..=10).collect();
+        let h = EquiHeightHistogram::from_parts(vec![2], vec![2, 8], 1, 10);
+        let h_star = EquiHeightHistogram::from_parts(vec![8], vec![8, 2], 1, 10);
+        let rep = delta_separation(&h, &h_star, &data);
+        // B_1 = {1,2}, B*_1 = {1..8}: sym diff 6. B_2 = {3..10}, B*_2 =
+        // {9,10}: sym diff 6.
+        assert_eq!(rep.max, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal bucket counts")]
+    fn mismatched_k_rejected() {
+        let data: Vec<i64> = (1..=10).collect();
+        let h2 = EquiHeightHistogram::from_sorted(&data, 2);
+        let h3 = EquiHeightHistogram::from_sorted(&data, 3);
+        let _ = delta_separation(&h2, &h3, &data);
+    }
+}

@@ -1,0 +1,182 @@
+//! High-level histogram construction: the convenience layer an `ANALYZE`
+//! implementation calls, wiring together the sampling bounds of Section 3
+//! and the histogram structures.
+
+use rand::Rng;
+
+use super::EquiHeightHistogram;
+use crate::bounds::chaudhuri::SamplingPlan;
+use crate::sampling;
+
+/// Fluent builder for exact or sampling-based equi-height histograms.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use samplehist_core::histogram::HistogramBuilder;
+///
+/// let data: Vec<i64> = (0..50_000).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+///
+/// // Exact (full scan + sort):
+/// let exact = HistogramBuilder::new(100).exact(&data);
+/// assert_eq!(exact.num_buckets(), 100);
+///
+/// // Sampled, with the sample sized by Corollary 1 for f = 25%, γ = 5%:
+/// let approx = HistogramBuilder::new(100)
+///     .target_error(0.25)
+///     .confidence(0.05)
+///     .sampled(&data, &mut rng);
+/// assert_eq!(approx.num_buckets(), 100);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramBuilder {
+    buckets: usize,
+    target_f: f64,
+    gamma: f64,
+    with_replacement: bool,
+}
+
+impl HistogramBuilder {
+    /// Start a builder for a `buckets`-bucket histogram with the default
+    /// targets `f = 0.1`, `γ = 0.01`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        Self { buckets, target_f: 0.1, gamma: 0.01, with_replacement: true }
+    }
+
+    /// Set the relative max-error target `f` (Definition 1).
+    pub fn target_error(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "f must be in (0,1]");
+        self.target_f = f;
+        self
+    }
+
+    /// Set the failure probability γ.
+    pub fn confidence(mut self, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "γ must be in (0,1)");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sample without replacement instead of the default with-replacement
+    /// (the bounds are derived for the latter; Section 3.1 notes they
+    /// carry over).
+    pub fn without_replacement(mut self) -> Self {
+        self.with_replacement = false;
+        self
+    }
+
+    /// The resolved [`SamplingPlan`] for a relation of `n` tuples.
+    pub fn plan(&self, n: u64) -> SamplingPlan {
+        SamplingPlan::new(n, self.buckets, self.target_f, self.gamma)
+    }
+
+    /// Build the **perfect** histogram by copying and sorting `data`.
+    pub fn exact(&self, data: &[i64]) -> EquiHeightHistogram {
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        EquiHeightHistogram::from_sorted(&sorted, self.buckets)
+    }
+
+    /// Build an **approximate** histogram from a Corollary-1-sized random
+    /// sample of `data`. If the plan says sampling is pointless (the bound
+    /// exceeds `n`), this silently degrades to a full scan — the same
+    /// choice a production `ANALYZE` makes.
+    pub fn sampled(&self, data: &[i64], rng: &mut impl Rng) -> EquiHeightHistogram {
+        let n = data.len() as u64;
+        let plan = self.plan(n);
+        if plan.sampling_is_pointless() {
+            return self.exact(data);
+        }
+        let r = plan.record_sample_size as usize;
+        let sample = if self.with_replacement {
+            sampling::with_replacement(data, r, rng)
+        } else {
+            sampling::without_replacement(data, r, rng)
+        };
+        EquiHeightHistogram::from_unsorted_sample(sample, self.buckets, n)
+    }
+
+    /// Build an approximate histogram from a caller-chosen sample size
+    /// (ignoring the bound — e.g. for error-vs-rate sweeps).
+    pub fn sampled_with_size(
+        &self,
+        data: &[i64],
+        r: usize,
+        rng: &mut impl Rng,
+    ) -> EquiHeightHistogram {
+        assert!(r > 0, "sample size must be positive");
+        let sample = if self.with_replacement {
+            sampling::with_replacement(data, r, rng)
+        } else {
+            sampling::without_replacement(data, r.min(data.len()), rng)
+        };
+        EquiHeightHistogram::from_unsorted_sample(sample, self.buckets, data.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::max_error_against;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_build_sorts_internally() {
+        let data = vec![9i64, 1, 5, 3, 7, 2, 8, 4, 6, 10];
+        let h = HistogramBuilder::new(5).exact(&data);
+        assert_eq!(h.separators(), &[2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn sampled_build_meets_its_own_target() {
+        let data: Vec<i64> = (0..60_000).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = HistogramBuilder::new(20).target_error(0.3).confidence(0.05);
+        let h = b.sampled(&data, &mut rng);
+        let f = max_error_against(&h, &sorted).relative_max();
+        assert!(f <= 0.3, "realized f = {f}");
+    }
+
+    #[test]
+    fn pointless_sampling_degrades_to_full_scan() {
+        // Tiny relation + strict target: plan wants more samples than
+        // tuples, builder must fall back to exact.
+        let data: Vec<i64> = (0..500).collect();
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = HistogramBuilder::new(50).target_error(0.05);
+        assert!(b.plan(500).sampling_is_pointless());
+        let h = b.sampled(&data, &mut rng);
+        let exact = b.exact(&data);
+        assert_eq!(h, exact);
+    }
+
+    #[test]
+    fn without_replacement_mode_works() {
+        let data: Vec<i64> = (0..10_000).collect();
+        let mut rng = StdRng::seed_from_u64(17);
+        let h = HistogramBuilder::new(10)
+            .target_error(0.5)
+            .without_replacement()
+            .sampled(&data, &mut rng);
+        assert_eq!(h.num_buckets(), 10);
+        assert_eq!(h.total(), 10_000);
+    }
+
+    #[test]
+    fn sampled_with_size_ignores_plan() {
+        let data: Vec<i64> = (0..10_000).collect();
+        let mut rng = StdRng::seed_from_u64(19);
+        let h = HistogramBuilder::new(10).sampled_with_size(&data, 100, &mut rng);
+        assert_eq!(h.total(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "f must be in (0,1]")]
+    fn builder_rejects_bad_error() {
+        let _ = HistogramBuilder::new(10).target_error(0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Compact binary persistence for histograms.
+//!
+//! A statistics subsystem stores each histogram in the catalog — SQL
+//! Server 7.0 "uses one disk page to store a histogram for a column",
+//! which is where the 600-bin figure in Section 7.1 comes from. This
+//! codec reproduces that constraint: separators are delta-encoded and
+//! counts raw-encoded as LEB128 varints with a zig-zag transform for the
+//! signed deltas, so a 600-bucket histogram of a typical integer column
+//! fits comfortably in one 8 KB page.
+//!
+//! Format (version 1):
+//! ```text
+//! [u8 version=1]
+//! [varint k]
+//! [varint n]
+//! [zigzag varint min] [zigzag varint (max - min)]
+//! [zigzag varint (s_1 - min)] [zigzag varint (s_2 - s_1)] … (k-1 deltas)
+//! [varint count_1] … [varint count_k]
+//! ```
+
+use super::equi_height::EquiHeightHistogram;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the structure was complete.
+    UnexpectedEnd,
+    /// First byte is not a known format version.
+    UnknownVersion(u8),
+    /// A varint ran past 10 bytes (not a valid encoding).
+    MalformedVarint,
+    /// Structure decoded but violates histogram invariants (e.g. counts
+    /// don't sum to `n`, separators decrease).
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "input truncated"),
+            CodecError::UnknownVersion(v) => write!(f, "unknown histogram format version {v}"),
+            CodecError::MalformedVarint => write!(f, "malformed varint"),
+            CodecError::Inconsistent(what) => write!(f, "inconsistent histogram: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const VERSION: u8 = 1;
+
+/// Serialize a histogram to its compact byte form.
+pub fn encode(h: &EquiHeightHistogram) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 3 * h.num_buckets());
+    out.push(VERSION);
+    write_varint(&mut out, h.num_buckets() as u64);
+    write_varint(&mut out, h.total());
+    write_signed(&mut out, h.min_value());
+    write_signed(&mut out, h.max_value() - h.min_value());
+    let mut prev = h.min_value();
+    for &s in h.separators() {
+        write_signed(&mut out, s - prev);
+        prev = s;
+    }
+    for &c in h.counts() {
+        write_varint(&mut out, c);
+    }
+    out
+}
+
+/// Deserialize a histogram previously produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<EquiHeightHistogram, CodecError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let version = cursor.byte()?;
+    if version != VERSION {
+        return Err(CodecError::UnknownVersion(version));
+    }
+    let k = cursor.varint()? as usize;
+    if k == 0 {
+        return Err(CodecError::Inconsistent("zero buckets"));
+    }
+    let n = cursor.varint()?;
+    let min = cursor.signed()?;
+    let span = cursor.signed()?;
+    if span < 0 {
+        return Err(CodecError::Inconsistent("max below min"));
+    }
+    let max = min + span;
+
+    let mut separators = Vec::with_capacity(k.saturating_sub(1));
+    let mut prev = min;
+    for _ in 0..k - 1 {
+        let delta = cursor.signed()?;
+        if delta < 0 {
+            return Err(CodecError::Inconsistent("separators decrease"));
+        }
+        prev += delta;
+        separators.push(prev);
+    }
+    if separators.last().is_some_and(|&s| s > max) {
+        return Err(CodecError::Inconsistent("separator beyond max"));
+    }
+
+    let mut counts = Vec::with_capacity(k);
+    let mut sum = 0u64;
+    for _ in 0..k {
+        let c = cursor.varint()?;
+        sum = sum.checked_add(c).ok_or(CodecError::Inconsistent("count overflow"))?;
+        counts.push(c);
+    }
+    if sum != n {
+        return Err(CodecError::Inconsistent("counts do not sum to n"));
+    }
+
+    Ok(EquiHeightHistogram::from_parts(separators, counts, min, max))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.bytes.get(self.pos).ok_or(CodecError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        for shift in (0..=63).step_by(7) {
+            let b = self.byte()?;
+            if shift == 63 && b > 1 {
+                return Err(CodecError::MalformedVarint);
+            }
+            value |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(CodecError::MalformedVarint)
+    }
+
+    fn signed(&mut self) -> Result<i64, CodecError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn write_signed(out: &mut Vec<u8>, v: i64) {
+    // Zig-zag: small magnitudes (the common case for deltas) stay small.
+    // wrapping_shl because v = i64::MIN must wrap, not trap.
+    write_varint(out, (v.wrapping_shl(1) ^ (v >> 63)) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_histogram() -> EquiHeightHistogram {
+        let data: Vec<i64> = (0..10_000).map(|i| i * 7 - 35_000).collect();
+        EquiHeightHistogram::from_sorted(&data, 64)
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let h = sample_histogram();
+        let bytes = encode(&h);
+        let back = decode(&bytes).expect("valid encoding");
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn six_hundred_bins_fit_in_a_page() {
+        // The Section 7.1 constraint: a 600-bin histogram of an integer
+        // column in one 8 KB page.
+        let data: Vec<i64> = (0..2_000_000i64).map(|i| i * 3).collect();
+        let h = EquiHeightHistogram::from_sorted(&data, 600);
+        let bytes = encode(&h);
+        assert!(bytes.len() <= 8192, "600 bins took {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_histogram());
+        for cut in [0usize, 1, 2, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "decoding {} of {} bytes should fail",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = encode(&sample_histogram());
+        bytes[0] = 99;
+        assert_eq!(decode(&bytes), Err(CodecError::UnknownVersion(99)));
+    }
+
+    #[test]
+    fn corrupted_counts_rejected() {
+        let h = EquiHeightHistogram::from_parts(vec![5], vec![10, 10], 0, 9);
+        let mut bytes = encode(&h);
+        // Flip the final count varint (both counts are single bytes).
+        let last = bytes.len() - 1;
+        bytes[last] = bytes[last].wrapping_add(1);
+        assert!(matches!(decode(&bytes), Err(CodecError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn error_display_forms() {
+        assert_eq!(CodecError::UnexpectedEnd.to_string(), "input truncated");
+        assert!(CodecError::UnknownVersion(3).to_string().contains('3'));
+        assert!(CodecError::Inconsistent("x").to_string().contains('x'));
+        assert_eq!(CodecError::MalformedVarint.to_string(), "malformed varint");
+    }
+
+    proptest! {
+        /// Round trip for arbitrary valid histograms.
+        #[test]
+        fn round_trip_arbitrary(
+            runs in prop::collection::vec((-1000i64..1000, 1usize..6), 1..50),
+            k in 1usize..20,
+        ) {
+            let mut data: Vec<i64> = runs
+                .into_iter()
+                .flat_map(|(v, c)| std::iter::repeat(v).take(c))
+                .collect();
+            data.sort_unstable();
+            let h = EquiHeightHistogram::from_sorted(&data, k);
+            let back = decode(&encode(&h)).expect("round trip");
+            prop_assert_eq!(h, back);
+        }
+
+        /// Arbitrary bytes never panic the decoder.
+        #[test]
+        fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode(&bytes);
+        }
+
+        /// Varint round trip.
+        #[test]
+        fn varint_round_trip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut c = Cursor { bytes: &buf, pos: 0 };
+            prop_assert_eq!(c.varint().expect("valid"), v);
+        }
+
+        /// Zig-zag round trip.
+        #[test]
+        fn signed_round_trip(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_signed(&mut buf, v);
+            let mut c = Cursor { bytes: &buf, pos: 0 };
+            prop_assert_eq!(c.signed().expect("valid"), v);
+        }
+    }
+}

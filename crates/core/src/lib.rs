@@ -1,0 +1,93 @@
+//! # samplehist-core
+//!
+//! A faithful, production-quality implementation of
+//! *"Random Sampling for Histogram Construction: How much is enough?"*
+//! (Surajit Chaudhuri, Rajeev Motwani, Vivek Narasayya — SIGMOD 1998).
+//!
+//! The paper answers the question in its title for **equi-height
+//! (equi-depth) histograms**, the summary structure used by the query
+//! optimizers of Microsoft SQL Server and many other commercial systems.
+//! This crate contains every analytical and algorithmic component the paper
+//! introduces:
+//!
+//! * [`histogram`] — exact and sample-based equi-height histograms
+//!   (Section 2.1), plus compressed histograms for duplicate-heavy data
+//!   (Section 5).
+//! * [`error`] — the classical Δavg / Δvar metrics, the paper's **max error
+//!   metric** Δmax (Definition 1), δ-separation (Definition 2), and the
+//!   fractional max error f′ for duplicate values (Definition 4).
+//! * [`bounds`] — the sampling-size trade-offs: Theorem 4 / Corollary 1
+//!   (record-level sampling), Theorem 5 (δ-separation), Theorem 7
+//!   (cross-validation), the worst-case range-query error envelopes of
+//!   Theorems 1 and 3, and the Gibbons–Matias–Poosala bound (Theorem 6)
+//!   used as the paper's point of comparison.
+//! * [`sampling`] — record-level sampling with and without replacement,
+//!   reservoir sampling, block-level sampling over an abstract
+//!   [`sampling::BlockSource`], and the paper's headline algorithm:
+//!   **CVB**, adaptive **C**ross-**V**alidated **B**lock-level sampling
+//!   (Section 4).
+//! * [`estimate`] — range-query result-size estimation from a histogram
+//!   (the optimizer-facing consumer that motivates the max error metric)
+//!   and the density statistic collected alongside histograms.
+//! * [`distinct`] — the paper's distinct-value estimator (later known as
+//!   GEE), its hybrid variant, the classical baselines it is compared
+//!   against (Goodman, Chao, Chao–Lee, jackknife, Shlosser, naive
+//!   scale-up), the ratio/rel-error metrics of Section 6, and the
+//!   Theorem 8 adversarial lower-bound construction.
+//!
+//! ## Conventions
+//!
+//! Attribute values are `i64` throughout. The paper assumes a totally
+//! ordered domain; any orderable attribute can be dictionary- or
+//! bit-pattern-encoded into `i64` without changing a single algorithm here,
+//! so the concrete type buys substantial speed (sorting and binary searching
+//! tens of millions of values) at no loss of generality.
+//!
+//! A *k*-histogram is a sequence of separators `s_1 ≤ s_2 ≤ … ≤ s_{k-1}`
+//! partitioning the domain into buckets `B_j = { v : s_{j-1} < v ≤ s_j }`
+//! with `s_0 = −∞` and `s_k = +∞` — exactly the paper's Section 2.1
+//! convention. Duplicate-heavy data naturally yields repeated separators;
+//! every metric and algorithm in this crate handles that case.
+//!
+//! All randomized APIs take `&mut impl rand::Rng` so callers control
+//! determinism; nothing in this crate seeds its own generator.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use samplehist_core::histogram::EquiHeightHistogram;
+//! use samplehist_core::error::max_error_against;
+//! use samplehist_core::bounds::corollary1_sample_size;
+//!
+//! // The data: 100k distinct values (already sorted here for brevity).
+//! let data: Vec<i64> = (0..100_000).collect();
+//!
+//! // How much sampling is enough for k = 50 buckets with at most
+//! // f = 10% relative deviation per bucket, with probability 99%?
+//! let r = corollary1_sample_size(50, 0.1, data.len() as u64, 0.01).ceil() as usize;
+//!
+//! // Draw the sample and build the approximate histogram.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let sample = samplehist_core::sampling::with_replacement(&data, r.min(data.len()), &mut rng);
+//! let approx = EquiHeightHistogram::from_unsorted_sample(sample, 50, data.len() as u64);
+//!
+//! // Verify: the realized max error is within the promised envelope.
+//! let err = max_error_against(&approx, &data);
+//! assert!(err.relative_max() <= 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod bounds;
+pub mod distinct;
+pub mod error;
+pub mod estimate;
+pub mod histogram;
+pub mod math;
+pub mod sampling;
+
+pub use histogram::EquiHeightHistogram;
+pub use sampling::BlockSource;

@@ -1,0 +1,199 @@
+//! Small numerical utilities shared by the bounds and estimator modules.
+//!
+//! The distinct-value estimators (notably Goodman's unbiased estimator,
+//! Section 6.1 of the paper) need binomial coefficients of the form
+//! `C(n, r)` with `n` in the tens of millions. Those only fit in floating
+//! point through the log-gamma function, so we carry a dependency-free
+//! Lanczos implementation here rather than pulling in a special-functions
+//! crate.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with g = 7 and 9 coefficients, which is
+/// accurate to ~1e-13 relative error over the positive reals — far more
+/// than the estimators built on top of it need.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Coefficients for g = 7 (Godfrey / Numerical Recipes lineage).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the approximation in its sweet spot.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` computed through [`ln_gamma`].
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln C(n, k)`, the log binomial coefficient. Returns `f64::NEG_INFINITY`
+/// when `k > n` (the coefficient is zero).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability that a specific value of multiplicity `m` (out of a
+/// population of `n` tuples) appears **exactly** `i` times in a simple
+/// random sample of `r` tuples drawn without replacement: the
+/// hypergeometric pmf `C(m,i)·C(n−m,r−i)/C(n,r)`.
+pub fn hypergeometric_pmf(n: u64, m: u64, r: u64, i: u64) -> f64 {
+    assert!(m <= n, "multiplicity {m} exceeds population {n}");
+    assert!(r <= n, "sample size {r} exceeds population {n}");
+    if i > m || i > r || (r - i) > (n - m) {
+        return 0.0;
+    }
+    (ln_binomial(m, i) + ln_binomial(n - m, r - i) - ln_binomial(n, r)).exp()
+}
+
+/// Kahan-compensated sum: the alternating, astronomically large series in
+/// Goodman's estimator loses everything to cancellation under naive
+/// summation even sooner than necessary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Fresh accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    pub fn add(&mut self, value: f64) {
+        let y = value - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Ceiling of `a / b` on unsigned integers, with `b > 0`.
+pub fn div_ceil_u64(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "division by zero");
+    a / b + u64::from(a % b != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let mut fact = 1.0_f64;
+        for n in 1..20u64 {
+            fact *= n as f64;
+            assert!(
+                close(ln_gamma(n as f64 + 1.0), fact.ln(), 1e-12),
+                "ln_gamma({}) mismatch",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!(close(ln_gamma(0.5), expected, 1e-12));
+        // Γ(3/2) = sqrt(pi)/2
+        let expected = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!(close(ln_gamma(1.5), expected, 1e-12));
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_stirling() {
+        // Compare against Stirling's series for a big argument.
+        let x: f64 = 1.0e7;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + 1.0 / (12.0 * x);
+        assert!(close(ln_gamma(x), stirling, 1e-12));
+    }
+
+    #[test]
+    fn binomial_small_cases() {
+        assert!(close(ln_binomial(5, 2), 10f64.ln(), 1e-12));
+        assert!(close(ln_binomial(10, 5), 252f64.ln(), 1e-12));
+        assert_eq!(ln_binomial(3, 7), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial(7, 0), 0.0);
+        assert_eq!(ln_binomial(7, 7), 0.0);
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        let (n, m, r) = (50u64, 13u64, 17u64);
+        let total: f64 = (0..=r).map(|i| hypergeometric_pmf(n, m, r, i)).sum();
+        assert!(close(total, 1.0, 1e-10), "pmf sums to {total}");
+    }
+
+    #[test]
+    fn hypergeometric_impossible_outcomes_are_zero() {
+        // Cannot see a value more often than its multiplicity...
+        assert_eq!(hypergeometric_pmf(10, 2, 5, 3), 0.0);
+        // ...nor miss it more often than the non-value tuples allow.
+        assert_eq!(hypergeometric_pmf(10, 9, 5, 0), 0.0);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_sum() {
+        // Sum 1.0 followed by many tiny values that a naive f64 sum drops.
+        let mut k = KahanSum::new();
+        k.add(1.0);
+        for _ in 0..10_000_000 {
+            k.add(1e-16);
+        }
+        let expected = 1.0 + 1e-16 * 1e7;
+        assert!((k.total() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn div_ceil_behaviour() {
+        assert_eq!(div_ceil_u64(10, 3), 4);
+        assert_eq!(div_ceil_u64(9, 3), 3);
+        assert_eq!(div_ceil_u64(0, 3), 0);
+        assert_eq!(div_ceil_u64(1, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_ceil_rejects_zero_divisor() {
+        let _ = div_ceil_u64(1, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Block-level sampling over an abstract page-oriented source.
+//!
+//! [`BlockSource`] is the only interface the sampling algorithms need from
+//! a storage engine: how many blocks there are and the tuples on each.
+//! `samplehist-storage`'s `HeapFile` implements it; [`SliceBlocks`] adapts
+//! any in-memory slice for tests and for record-level comparisons.
+
+use rand::Rng;
+
+/// A page-oriented view of one column of a relation.
+///
+/// Blocks are numbered `0 .. num_blocks()`. Blocks may have different
+/// sizes (the last page of a heap file is usually short); implementations
+/// must return the same contents for the same index every time within one
+/// sampling run.
+pub trait BlockSource {
+    /// Number of blocks (disk pages).
+    fn num_blocks(&self) -> usize;
+    /// Total number of tuples across all blocks.
+    fn num_tuples(&self) -> u64;
+    /// The attribute values of the tuples stored on block `index`.
+    ///
+    /// # Panics
+    /// Implementations should panic on out-of-range indices.
+    fn block(&self, index: usize) -> &[i64];
+
+    /// Average tuples per block (the blocking factor `b` of Section 4.1).
+    fn avg_tuples_per_block(&self) -> f64 {
+        if self.num_blocks() == 0 {
+            0.0
+        } else {
+            self.num_tuples() as f64 / self.num_blocks() as f64
+        }
+    }
+}
+
+/// View a contiguous slice as fixed-size blocks (the last may be short).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceBlocks<'a> {
+    data: &'a [i64],
+    block_size: usize,
+}
+
+impl<'a> SliceBlocks<'a> {
+    /// Wrap `data` as blocks of `block_size` tuples.
+    ///
+    /// # Panics
+    /// If `block_size == 0`.
+    pub fn new(data: &'a [i64], block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Self { data, block_size }
+    }
+}
+
+impl BlockSource for SliceBlocks<'_> {
+    fn num_blocks(&self) -> usize {
+        self.data.len().div_ceil(self.block_size)
+    }
+
+    fn num_tuples(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn block(&self, index: usize) -> &[i64] {
+        let start = index * self.block_size;
+        assert!(start < self.data.len(), "block {index} out of range");
+        let end = (start + self.block_size).min(self.data.len());
+        &self.data[start..end]
+    }
+}
+
+/// The result of sampling `g` blocks: which blocks, and every tuple on
+/// them.
+#[derive(Debug, Clone)]
+pub struct BlockSample {
+    /// Indices of the sampled blocks, in the order drawn.
+    pub block_ids: Vec<usize>,
+    /// All tuples from the sampled blocks (unsorted).
+    pub values: Vec<i64>,
+}
+
+/// Draw `g` distinct blocks uniformly at random and collect their tuples.
+///
+/// # Panics
+/// If `g` exceeds the number of blocks.
+pub fn sample_blocks(source: &impl BlockSource, g: usize, rng: &mut impl Rng) -> BlockSample {
+    assert!(
+        g <= source.num_blocks(),
+        "cannot sample {g} of {} blocks without replacement",
+        source.num_blocks()
+    );
+    let block_ids: Vec<usize> = rand::seq::index::sample(rng, source.num_blocks(), g).into_vec();
+    let mut values =
+        Vec::with_capacity((source.avg_tuples_per_block() * g as f64).ceil() as usize);
+    for &id in &block_ids {
+        values.extend_from_slice(source.block(id));
+    }
+    BlockSample { block_ids, values }
+}
+
+/// Incremental without-replacement block sampling: a random permutation of
+/// all block indices, consumed prefix by prefix. This is what the adaptive
+/// CVB algorithm uses — each round's "fresh" blocks are simply the next
+/// chunk of the permutation, which makes the union of all rounds a uniform
+/// without-replacement sample at every point.
+#[derive(Debug, Clone)]
+pub struct BlockPermutation {
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl BlockPermutation {
+    /// Shuffle all block indices of `source`.
+    pub fn new(source: &impl BlockSource, rng: &mut impl Rng) -> Self {
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..source.num_blocks()).collect();
+        order.shuffle(rng);
+        Self { order, cursor: 0 }
+    }
+
+    /// How many blocks remain undrawn.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.cursor
+    }
+
+    /// How many blocks have been drawn so far.
+    pub fn drawn(&self) -> usize {
+        self.cursor
+    }
+
+    /// Draw up to `g` further blocks (fewer if the permutation is nearly
+    /// exhausted). Returns the drawn block indices.
+    pub fn take(&mut self, g: usize) -> &[usize] {
+        let take = g.min(self.remaining());
+        let out = &self.order[self.cursor..self.cursor + take];
+        self.cursor += take;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn slice_blocks_shape() {
+        let data: Vec<i64> = (0..10).collect();
+        let src = SliceBlocks::new(&data, 4);
+        assert_eq!(src.num_blocks(), 3);
+        assert_eq!(src.num_tuples(), 10);
+        assert_eq!(src.block(0), &[0, 1, 2, 3]);
+        assert_eq!(src.block(2), &[8, 9], "last block is short");
+        assert!((src.avg_tuples_per_block() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_blocks_out_of_range() {
+        let data: Vec<i64> = (0..10).collect();
+        let src = SliceBlocks::new(&data, 4);
+        let _ = src.block(3);
+    }
+
+    #[test]
+    fn sample_blocks_collects_whole_pages() {
+        let data: Vec<i64> = (0..100).collect();
+        let src = SliceBlocks::new(&data, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_blocks(&src, 3, &mut rng);
+        assert_eq!(s.block_ids.len(), 3);
+        assert_eq!(s.values.len(), 30);
+        // Every sampled tuple belongs to one of the sampled pages.
+        for &v in &s.values {
+            let page = (v / 10) as usize;
+            assert!(s.block_ids.contains(&page), "tuple {v} from unsampled page");
+        }
+        // Without replacement: distinct pages.
+        let mut ids = s.block_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn sample_all_blocks_is_full_scan() {
+        let data: Vec<i64> = (0..55).collect();
+        let src = SliceBlocks::new(&data, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_blocks(&src, 6, &mut rng);
+        let mut values = s.values;
+        values.sort_unstable();
+        assert_eq!(values, data);
+    }
+
+    #[test]
+    fn permutation_covers_everything_once() {
+        let data: Vec<i64> = (0..100).collect();
+        let src = SliceBlocks::new(&data, 5); // 20 blocks
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut perm = BlockPermutation::new(&src, &mut rng);
+        assert_eq!(perm.remaining(), 20);
+        let mut seen: Vec<usize> = Vec::new();
+        seen.extend_from_slice(perm.take(7));
+        assert_eq!(perm.drawn(), 7);
+        seen.extend_from_slice(perm.take(7));
+        seen.extend_from_slice(perm.take(100)); // clamped to remaining 6
+        assert_eq!(seen.len(), 20);
+        assert_eq!(perm.remaining(), 0);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+        assert!(perm.take(5).is_empty(), "exhausted permutation yields nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn oversampling_blocks_rejected() {
+        let data: Vec<i64> = (0..10).collect();
+        let src = SliceBlocks::new(&data, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_blocks(&src, 3, &mut rng);
+    }
+}

@@ -1,0 +1,534 @@
+//! CVB — adaptive **C**ross-**V**alidated **B**lock-level sampling
+//! (paper Section 4.2, evaluated in Section 7 as "the CVB algorithm").
+//!
+//! The problem: block-level sampling is `b×` cheaper than record-level
+//! sampling per tuple (you get the whole page for one I/O), but if tuples
+//! within a page are correlated the *effective* sample is much smaller
+//! than its tuple count, and the right number of pages to read depends on
+//! a clustering structure nobody knows a priori (Section 4.1's scenarios).
+//!
+//! The paper's answer: sample blocks in increasing batches; before folding
+//! each new batch `R_i` into the accumulated sample `R`, use it to
+//! **cross-validate** the histogram built from `R`. If partitioning `R_i`
+//! by the current separators shows relative error below the target `f`,
+//! stop; Theorem 7 guarantees the test neither stops too early (a
+//! histogram with true error > 2f·n/k almost never passes) nor drags on (a
+//! histogram with true error ≤ f·n/(2k) almost never fails). With the
+//! doubling schedule the total I/O is within 2× of the unknowable optimum
+//! for the data's actual clustering.
+//!
+//! Duplicates are handled by validating with the **fractional max error**
+//! f′ of Definition 4 rather than raw bucket counts — on duplicate-free
+//! data the two coincide exactly.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use samplehist_core::sampling::{cvb, CvbConfig, SliceBlocks};
+//!
+//! // A column scattered over 100-tuple pages.
+//! let mut data: Vec<i64> = (0..50_000).collect();
+//! use rand::seq::SliceRandom;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! data.shuffle(&mut rng);
+//! let source = SliceBlocks::new(&data, 100);
+//!
+//! // Ask for 20 buckets within 20% error; CVB sizes the I/O itself.
+//! let config = CvbConfig::theoretical(&source, 20, 0.2, 0.05);
+//! let result = cvb::run(&source, &config, &mut rng);
+//! assert!(result.converged || result.exhausted);
+//! assert_eq!(result.histogram.num_buckets(), 20);
+//! ```
+
+use rand::Rng;
+
+use super::block::{BlockPermutation, BlockSource};
+use super::schedule::{Schedule, ScheduleContext};
+use crate::bounds::chaudhuri::corollary1_sample_size;
+use crate::error::fractional_max_error;
+use crate::histogram::EquiHeightHistogram;
+
+/// How the cross-validation sample is formed from each round's fresh
+/// blocks (Section 4.2's "twists on this basic strategy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// Validate with every tuple of the new blocks (the base algorithm).
+    #[default]
+    AllTuples,
+    /// Validate with one uniformly chosen tuple per new block — immune to
+    /// intra-block correlation in the *validation* set itself, at the cost
+    /// of a much smaller (hence noisier) test sample.
+    OneTuplePerBlock,
+}
+
+/// Configuration for a CVB run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvbConfig {
+    /// Number of histogram buckets, `k`.
+    pub buckets: usize,
+    /// Target relative max error `f` (Definition 1 / Definition 4).
+    pub target_f: f64,
+    /// Failure probability γ used when sizing the initial sample.
+    pub gamma: f64,
+    /// Stepping policy for successive rounds.
+    pub schedule: Schedule,
+    /// How to build the cross-validation sample each round.
+    pub validation: ValidationMode,
+    /// Hard cap on the fraction of blocks ever read (1.0 = allow falling
+    /// back to a full scan, which yields the exact histogram).
+    pub max_block_fraction: f64,
+}
+
+impl CvbConfig {
+    /// The paper's step 1: size the initial batch from Theorem 4 /
+    /// Corollary 1 — `r` record-level samples, hence `g₀ = r/b` blocks —
+    /// and use the doubling schedule thereafter.
+    ///
+    /// When the theoretical `r` exceeds `n` (small relations or very
+    /// strict `f`), `g₀` is clamped so the first round is at most half the
+    /// file and cross-validation still gets a chance to run.
+    pub fn theoretical(source: &impl BlockSource, buckets: usize, target_f: f64, gamma: f64) -> Self {
+        let n = source.num_tuples();
+        let b = source.avg_tuples_per_block().max(1.0);
+        let r = corollary1_sample_size(buckets, target_f, n, gamma);
+        let g0 = ((r / b).ceil() as usize).clamp(1, (source.num_blocks() / 2).max(1));
+        Self {
+            buckets,
+            target_f,
+            gamma,
+            schedule: Schedule::Doubling { initial_blocks: g0 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        }
+    }
+
+    /// The SQL Server 7.0 prototype's configuration (Section 7.1): the
+    /// accumulated sample steps through multiples of `5·√n` tuples.
+    pub fn prototype(buckets: usize, target_f: f64, gamma: f64) -> Self {
+        Self {
+            buckets,
+            target_f,
+            gamma,
+            schedule: Schedule::SqrtSteps { multiplier: 5.0 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.buckets > 0, "need at least one bucket");
+        assert!(
+            self.target_f > 0.0 && self.target_f <= 1.0,
+            "target f must be in (0,1], got {}",
+            self.target_f
+        );
+        assert!(self.gamma > 0.0 && self.gamma < 1.0, "γ must be in (0,1)");
+        assert!(
+            self.max_block_fraction > 0.0 && self.max_block_fraction <= 1.0,
+            "max_block_fraction must be in (0,1]"
+        );
+    }
+}
+
+/// One iteration of the adaptive loop, for post-mortem inspection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvbRound {
+    /// 1-based round number.
+    pub round: usize,
+    /// Blocks drawn this round.
+    pub new_blocks: usize,
+    /// Blocks drawn in total after this round.
+    pub total_blocks: usize,
+    /// Tuples accumulated after this round.
+    pub total_tuples: u64,
+    /// Cross-validation error f′ of the *pre-merge* histogram against this
+    /// round's fresh sample (`None` for the first round, which has no
+    /// histogram to validate yet).
+    pub cross_validation_error: Option<f64>,
+}
+
+/// The outcome of a CVB run.
+#[derive(Debug, Clone)]
+pub struct CvbResult {
+    /// The final histogram (built from every tuple sampled, scaled to `n`).
+    pub histogram: EquiHeightHistogram,
+    /// Whether the cross-validation test passed (`false` means the run hit
+    /// the block cap or exhausted the file first).
+    pub converged: bool,
+    /// Whether every block of the source was read (the histogram is then
+    /// exact rather than approximate).
+    pub exhausted: bool,
+    /// Per-round trace.
+    pub rounds: Vec<CvbRound>,
+    /// Total blocks read — the algorithm's I/O cost.
+    pub blocks_sampled: usize,
+    /// Total tuples in the accumulated sample.
+    pub tuples_sampled: u64,
+    /// The accumulated sample itself, sorted — callers reuse it for
+    /// density and distinct-value estimation, exactly as the prototype
+    /// recorded "the number of distinct values in the sample".
+    pub sample_sorted: Vec<i64>,
+}
+
+impl CvbResult {
+    /// Fraction of the relation's tuples that were read.
+    pub fn sampling_rate(&self, source_tuples: u64) -> f64 {
+        self.tuples_sampled as f64 / source_tuples as f64
+    }
+
+    /// I/O overhead relative to the record-level optimum of Corollary 1:
+    /// `(tuples read) / min(r, n)`. Values near 1 mean block sampling cost
+    /// no more than the theory's record-level sample; the paper argues the
+    /// doubling schedule keeps this within 2× of the effective-rate
+    /// optimum for the data's clustering.
+    pub fn oversampling_factor(&self, config: &CvbConfig, n: u64) -> f64 {
+        let r = corollary1_sample_size(config.buckets, config.target_f, n, config.gamma)
+            .min(n as f64);
+        self.tuples_sampled as f64 / r
+    }
+}
+
+/// Run the adaptive algorithm of Section 4.2 against `source`.
+///
+/// ```text
+/// 1. g₀ from Theorem 4 (or the configured schedule)
+/// 2. R ← g₀ random blocks; H₀ ← equi-height histogram of R
+/// 3. repeat:
+///      draw g_i fresh blocks R_i
+///      δ_i ← error of partitioning R_i with H_{i-1}'s separators
+///      merge R_i into R; rebuild H_i
+///    until δ_i < f
+/// 4. output H_i
+/// ```
+///
+/// Blocks are drawn without replacement via a single up-front permutation,
+/// so the union of all rounds is a uniform block sample at every point.
+/// If the permutation (or the configured cap) runs out before the test
+/// passes, the accumulated sample is used as-is; with the cap at 1.0 that
+/// degenerates to a full scan and an exact histogram.
+///
+/// # Panics
+/// If the source is empty or the configuration is invalid.
+pub fn run(source: &impl BlockSource, config: &CvbConfig, rng: &mut impl Rng) -> CvbResult {
+    config.validate();
+    assert!(source.num_blocks() > 0, "cannot sample an empty source");
+    let n = source.num_tuples();
+    assert!(n > 0, "cannot sample a source with no tuples");
+
+    let max_blocks =
+        ((source.num_blocks() as f64 * config.max_block_fraction).ceil() as usize).max(1);
+    let b = source.avg_tuples_per_block();
+
+    let mut permutation = BlockPermutation::new(source, rng);
+    let mut accumulated: Vec<i64> = Vec::new();
+    let mut rounds: Vec<CvbRound> = Vec::new();
+    let mut histogram: Option<EquiHeightHistogram> = None;
+    let mut converged = false;
+
+    let mut round = 0usize;
+    while permutation.drawn() < max_blocks {
+        round += 1;
+        let ctx = ScheduleContext {
+            round,
+            blocks_so_far: permutation.drawn(),
+            tuples_so_far: accumulated.len() as u64,
+            total_tuples: n,
+            tuples_per_block: b,
+        };
+        let want = config.schedule.next_blocks(&ctx).min(max_blocks - permutation.drawn());
+        let fresh_ids: Vec<usize> = permutation.take(want).to_vec();
+        if fresh_ids.is_empty() {
+            break;
+        }
+
+        // Collect and sort this round's tuples.
+        let mut fresh: Vec<i64> = Vec::with_capacity((b * fresh_ids.len() as f64) as usize);
+        for &id in &fresh_ids {
+            fresh.extend_from_slice(source.block(id));
+        }
+        fresh.sort_unstable();
+
+        // Cross-validate the *current* histogram against the fresh sample
+        // (Definition 4's fractional error; reduces to Definition 1 when
+        // values are distinct).
+        let cv_error = histogram.as_ref().map(|h| {
+            let validation: Vec<i64> = match config.validation {
+                ValidationMode::AllTuples => fresh.clone(),
+                ValidationMode::OneTuplePerBlock => {
+                    let mut one_each: Vec<i64> = fresh_ids
+                        .iter()
+                        .map(|&id| {
+                            let blk = source.block(id);
+                            blk[rng.gen_range(0..blk.len())]
+                        })
+                        .collect();
+                    one_each.sort_unstable();
+                    one_each
+                }
+            };
+            fractional_max_error(h.separators(), &accumulated, &validation).max
+        });
+
+        // Merge (step 4c) and rebuild.
+        accumulated = merge_sorted(&accumulated, &fresh);
+        histogram = Some(EquiHeightHistogram::from_sorted_sample(
+            &accumulated,
+            config.buckets,
+            n,
+        ));
+
+        rounds.push(CvbRound {
+            round,
+            new_blocks: fresh_ids.len(),
+            total_blocks: permutation.drawn(),
+            total_tuples: accumulated.len() as u64,
+            cross_validation_error: cv_error,
+        });
+
+        // Step 5: terminate once validation passes.
+        if let Some(err) = cv_error {
+            if err < config.target_f {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let exhausted = permutation.remaining() == 0;
+    let histogram = histogram.expect("at least one round ran");
+    CvbResult {
+        histogram,
+        converged,
+        exhausted,
+        blocks_sampled: permutation.drawn(),
+        tuples_sampled: accumulated.len() as u64,
+        rounds,
+        sample_sorted: accumulated,
+    }
+}
+
+/// Merge two sorted vectors (the accumulated sample and a fresh batch).
+fn merge_sorted(a: &[i64], fresh: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(a.len() + fresh.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < fresh.len() {
+        if a[i] <= fresh[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(fresh[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&fresh[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::max_error_against;
+    use crate::sampling::block::SliceBlocks;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn shuffled(n: i64, seed: u64) -> Vec<i64> {
+        let mut v: Vec<i64> = (0..n).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(seed));
+        v
+    }
+
+    #[test]
+    fn merge_sorted_basics() {
+        assert_eq!(merge_sorted(&[1, 3, 5], &[2, 4]), vec![1, 2, 3, 4, 5]);
+        assert_eq!(merge_sorted(&[], &[1, 2]), vec![1, 2]);
+        assert_eq!(merge_sorted(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(merge_sorted(&[1, 1], &[1]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn converges_on_random_layout() {
+        // 100k distinct values scattered randomly across pages: block
+        // sampling behaves like record sampling, so CVB should converge
+        // well before a full scan.
+        let data = shuffled(100_000, 7);
+        let src = SliceBlocks::new(&data, 100);
+        let config = CvbConfig {
+            buckets: 20,
+            target_f: 0.2,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 40 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let result = run(&src, &config, &mut rng);
+        assert!(result.converged, "rounds: {:?}", result.rounds);
+        assert!(!result.exhausted, "converged before a full scan");
+
+        // And the histogram it returns really is good: check true error.
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let true_err = max_error_against(&result.histogram, &sorted).relative_max();
+        // Theorem 7 guarantees ≤ 2f whp on passing the f test.
+        assert!(true_err <= 2.0 * config.target_f, "true error {true_err}");
+    }
+
+    #[test]
+    fn sorted_layout_needs_more_blocks_than_random() {
+        // Fully clustered (sorted) pages are the paper's scenario (b): the
+        // effective sampling rate collapses and CVB must keep going.
+        let n = 50_000i64;
+        let random = shuffled(n, 11);
+        let sorted: Vec<i64> = (0..n).collect();
+        let config = CvbConfig {
+            buckets: 20,
+            target_f: 0.25,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 20 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let run_on = |data: &Vec<i64>, seed: u64| {
+            let src = SliceBlocks::new(data, 100);
+            run(&src, &config, &mut StdRng::seed_from_u64(seed))
+        };
+        let blocks_random: usize = (0..5).map(|s| run_on(&random, s).blocks_sampled).sum();
+        let blocks_sorted: usize = (0..5).map(|s| run_on(&sorted, s).blocks_sampled).sum();
+        assert!(
+            blocks_sorted > 2 * blocks_random,
+            "sorted {blocks_sorted} vs random {blocks_random}"
+        );
+    }
+
+    #[test]
+    fn full_scan_fallback_yields_exact_histogram() {
+        // All tuples on each page identical (scenario b, extreme): with a
+        // tight target the algorithm may walk to a full scan; the result
+        // is then the exact histogram.
+        let mut data: Vec<i64> = Vec::new();
+        for page in 0..50 {
+            data.extend(std::iter::repeat(page as i64).take(20));
+        }
+        let src = SliceBlocks::new(&data, 20);
+        let config = CvbConfig {
+            buckets: 10,
+            target_f: 0.01,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 2 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let result = run(&src, &config, &mut rng);
+        if result.exhausted {
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let exact = EquiHeightHistogram::from_sorted(&sorted, 10);
+            assert_eq!(result.histogram.separators(), exact.separators());
+            assert_eq!(result.tuples_sampled, 1000);
+        }
+    }
+
+    #[test]
+    fn block_cap_is_respected() {
+        let data = shuffled(10_000, 17);
+        let src = SliceBlocks::new(&data, 10); // 1000 blocks
+        let config = CvbConfig {
+            buckets: 100,
+            target_f: 0.01, // unreachably strict -> would scan everything
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 10 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 0.25,
+        };
+        let mut rng = StdRng::seed_from_u64(19);
+        let result = run(&src, &config, &mut rng);
+        assert!(!result.converged);
+        assert!(result.blocks_sampled <= 250);
+        assert!(!result.exhausted);
+    }
+
+    #[test]
+    fn one_tuple_per_block_validation_runs() {
+        let data = shuffled(50_000, 23);
+        let src = SliceBlocks::new(&data, 50);
+        let config = CvbConfig {
+            buckets: 20,
+            target_f: 0.25,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 50 },
+            validation: ValidationMode::OneTuplePerBlock,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(29);
+        let result = run(&src, &config, &mut rng);
+        assert!(result.rounds.len() >= 2 || result.converged || result.exhausted);
+        // The trace records validation errors from round 2 onward.
+        assert!(result.rounds[0].cross_validation_error.is_none());
+        for r in &result.rounds[1..] {
+            assert!(r.cross_validation_error.is_some());
+        }
+    }
+
+    #[test]
+    fn theoretical_config_sizes_initial_round() {
+        let data = shuffled(100_000, 31);
+        let src = SliceBlocks::new(&data, 100);
+        let cfg = CvbConfig::theoretical(&src, 10, 0.5, 0.1);
+        match cfg.schedule {
+            Schedule::Doubling { initial_blocks } => {
+                // r = 4*10*ln(2e6)/0.25 ≈ 2322 tuples -> ~24 blocks.
+                assert!((20..30).contains(&initial_blocks), "g0 = {initial_blocks}");
+            }
+            ref other => panic!("expected doubling schedule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampling_rate_and_oversampling_reports() {
+        let data = shuffled(100_000, 37);
+        let src = SliceBlocks::new(&data, 100);
+        let config = CvbConfig::theoretical(&src, 10, 0.5, 0.1);
+        let mut rng = StdRng::seed_from_u64(41);
+        let result = run(&src, &config, &mut rng);
+        let rate = result.sampling_rate(src.num_tuples());
+        assert!(rate > 0.0 && rate <= 1.0);
+        let over = result.oversampling_factor(&config, src.num_tuples());
+        assert!(over > 0.0);
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let data = shuffled(50_000, 43);
+        let src = SliceBlocks::new(&data, 100);
+        let config = CvbConfig {
+            buckets: 30,
+            target_f: 0.1,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 10 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(47);
+        let result = run(&src, &config, &mut rng);
+        for w in result.rounds.windows(2) {
+            assert!(w[1].total_blocks > w[0].total_blocks);
+            assert!(w[1].total_tuples > w[0].total_tuples);
+            assert_eq!(w[1].round, w[0].round + 1);
+        }
+        let last = result.rounds.last().expect("at least one round");
+        assert_eq!(last.total_blocks, result.blocks_sampled);
+        assert_eq!(last.total_tuples, result.tuples_sampled);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty source")]
+    fn empty_source_rejected() {
+        let src = SliceBlocks::new(&[], 10);
+        let config = CvbConfig::prototype(10, 0.1, 0.05);
+        let mut rng = StdRng::seed_from_u64(53);
+        let _ = run(&src, &config, &mut rng);
+    }
+}

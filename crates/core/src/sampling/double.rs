@@ -1,0 +1,292 @@
+//! Double (two-phase) block sampling — the classical alternative to CVB's
+//! iterated cross-validation.
+//!
+//! Section 4.2 situates CVB against earlier adaptive strategies: "double
+//! sampling by Hou, Ozsoyoglu, and Dogdu" sizes the real sample from a
+//! pilot instead of iterating. Applied to block-level histogram
+//! construction, the pilot's job is to estimate the **design effect** of
+//! cluster sampling — how much less information a block-sampled tuple
+//! carries than an independently sampled one because tuples sharing a
+//! page are correlated:
+//!
+//! ```text
+//! deff_j = Var_blocks[count of bucket j per block] / (b·p_j·(1−p_j))
+//! ```
+//!
+//! (the ratio of the observed between-block variance to the multinomial
+//! variance an uncorrelated page would have; `deff ≈ 1` on a random
+//! layout, `≈ b` when pages are value-clustered). The second phase then
+//! draws `deff · r / b` blocks in one shot, where `r` is Corollary 1's
+//! record-level sample size.
+//!
+//! Compared to CVB: one decision point instead of a loop (cheaper
+//! control, friendlier to a batch executor), but the pilot must be big
+//! enough to estimate `deff`, and there is no safety net if the pilot
+//! under-estimates the correlation — the `ablations` bench quantifies the
+//! trade.
+
+use rand::Rng;
+
+use super::block::{BlockPermutation, BlockSource};
+use crate::bounds::chaudhuri::corollary1_sample_size;
+use crate::histogram::{bucket_counts, EquiHeightHistogram};
+
+/// Configuration for two-phase block sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoubleSamplingConfig {
+    /// Histogram buckets, `k`.
+    pub buckets: usize,
+    /// Target relative max error `f`.
+    pub target_f: f64,
+    /// Failure probability γ for the Corollary 1 base size.
+    pub gamma: f64,
+    /// Pilot size in blocks (must be ≥ 2 to estimate a variance; more
+    /// pilot = better deff estimate = less over/under-shoot).
+    pub pilot_blocks: usize,
+}
+
+/// Outcome of a [`run`].
+#[derive(Debug, Clone)]
+pub struct DoubleSamplingResult {
+    /// The final histogram (pilot + phase-2 tuples, scaled to `n`).
+    pub histogram: EquiHeightHistogram,
+    /// Estimated design effect from the pilot (clamped to `[1, b]`).
+    pub design_effect: f64,
+    /// Blocks read in the pilot phase.
+    pub pilot_blocks: usize,
+    /// Blocks read in the second phase.
+    pub phase2_blocks: usize,
+    /// Total tuples used.
+    pub tuples_sampled: u64,
+    /// The accumulated sorted sample (for distinct/density reuse).
+    pub sample_sorted: Vec<i64>,
+}
+
+impl DoubleSamplingResult {
+    /// Total blocks read.
+    pub fn blocks_sampled(&self) -> usize {
+        self.pilot_blocks + self.phase2_blocks
+    }
+}
+
+/// Run two-phase block sampling against `source`.
+///
+/// # Panics
+/// If the configuration is degenerate (zero buckets, `f ∉ (0,1]`,
+/// `γ ∉ (0,1)`, pilot < 2 blocks) or the source is empty.
+pub fn run(
+    source: &impl BlockSource,
+    config: &DoubleSamplingConfig,
+    rng: &mut impl Rng,
+) -> DoubleSamplingResult {
+    assert!(config.buckets > 0, "need at least one bucket");
+    assert!(config.target_f > 0.0 && config.target_f <= 1.0, "f must be in (0,1]");
+    assert!(config.gamma > 0.0 && config.gamma < 1.0, "γ must be in (0,1)");
+    assert!(config.pilot_blocks >= 2, "pilot needs at least two blocks");
+    assert!(source.num_blocks() > 0, "cannot sample an empty source");
+
+    let n = source.num_tuples();
+    let b = source.avg_tuples_per_block().max(1.0);
+    let mut permutation = BlockPermutation::new(source, rng);
+
+    // Phase 1: the pilot.
+    let pilot_ids: Vec<usize> =
+        permutation.take(config.pilot_blocks.min(source.num_blocks())).to_vec();
+    let mut pilot: Vec<i64> = Vec::with_capacity((b * pilot_ids.len() as f64) as usize);
+    for &id in &pilot_ids {
+        pilot.extend_from_slice(source.block(id));
+    }
+    pilot.sort_unstable();
+    let pilot_hist = EquiHeightHistogram::from_sorted_sample(&pilot, config.buckets, n);
+
+    let deff = estimate_design_effect(source, &pilot_ids, &pilot_hist, b);
+
+    // Phase 2: one shot at deff-inflated Corollary 1.
+    let r = corollary1_sample_size(config.buckets, config.target_f, n, config.gamma);
+    let blocks_needed = ((deff * r / b).ceil() as usize).max(config.pilot_blocks);
+    let phase2 = blocks_needed.saturating_sub(pilot_ids.len());
+    let phase2_ids: Vec<usize> = permutation.take(phase2).to_vec();
+    let mut all = pilot;
+    for &id in &phase2_ids {
+        all.extend_from_slice(source.block(id));
+    }
+    all.sort_unstable();
+    let histogram = EquiHeightHistogram::from_sorted_sample(&all, config.buckets, n);
+
+    DoubleSamplingResult {
+        histogram,
+        design_effect: deff,
+        pilot_blocks: pilot_ids.len(),
+        phase2_blocks: phase2_ids.len(),
+        tuples_sampled: all.len() as u64,
+        sample_sorted: all,
+    }
+}
+
+/// The cluster-sampling design effect: mean (bucket-mass-weighted) ratio
+/// of observed between-block bucket-count variance to the multinomial
+/// variance of an uncorrelated block. Clamped to `[1, b]` — by Cauchy–
+/// Schwarz the truth lives there, and the pilot is small enough to wander
+/// outside by noise.
+fn estimate_design_effect(
+    source: &impl BlockSource,
+    pilot_ids: &[usize],
+    pilot_hist: &EquiHeightHistogram,
+    b: f64,
+) -> f64 {
+    let g = pilot_ids.len();
+    if g < 2 {
+        return b; // cannot estimate: assume the worst
+    }
+    let total: f64 = pilot_ids.iter().map(|&id| source.block(id).len() as f64).sum();
+    // Bucket shares over the whole pilot.
+    let mut pooled = vec![0u64; pilot_hist.num_buckets()];
+    let mut per_block: Vec<Vec<u64>> = Vec::with_capacity(g);
+    for &id in pilot_ids {
+        let mut blk = source.block(id).to_vec();
+        blk.sort_unstable();
+        let counts = bucket_counts(&blk, pilot_hist.separators());
+        for (p, &c) in pooled.iter_mut().zip(&counts) {
+            *p += c;
+        }
+        per_block.push(counts);
+    }
+
+    let mut weighted = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    for j in 0..pooled.len() {
+        let p_j = pooled[j] as f64 / total;
+        if p_j <= 0.0 || p_j >= 1.0 {
+            continue;
+        }
+        let expected = b * p_j;
+        let var_observed: f64 = per_block
+            .iter()
+            .map(|counts| {
+                let dev = counts[j] as f64 - expected;
+                dev * dev
+            })
+            .sum::<f64>()
+            / (g - 1) as f64;
+        let var_multinomial = b * p_j * (1.0 - p_j);
+        weighted += p_j * (var_observed / var_multinomial);
+        weight_sum += p_j;
+    }
+    if weight_sum <= 0.0 {
+        return b;
+    }
+    (weighted / weight_sum).clamp(1.0, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::max_error_against;
+    use crate::sampling::block::SliceBlocks;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn config() -> DoubleSamplingConfig {
+        DoubleSamplingConfig { buckets: 20, target_f: 0.25, gamma: 0.05, pilot_blocks: 50 }
+    }
+
+    #[test]
+    fn random_layout_deff_near_one() {
+        let mut data: Vec<i64> = (0..100_000).collect();
+        data.shuffle(&mut StdRng::seed_from_u64(1));
+        let src = SliceBlocks::new(&data, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = run(&src, &config(), &mut rng);
+        assert!(
+            result.design_effect < 2.0,
+            "random layout deff = {}",
+            result.design_effect
+        );
+        // And the final histogram hits the target on the true data.
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let f = max_error_against(&result.histogram, &sorted).relative_max();
+        assert!(f <= 0.25, "realized f = {f}");
+    }
+
+    #[test]
+    fn clustered_layout_deff_near_b() {
+        let data: Vec<i64> = (0..100_000).collect(); // fully sorted pages
+        let src = SliceBlocks::new(&data, 100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = run(&src, &config(), &mut rng);
+        assert!(
+            result.design_effect > 30.0,
+            "clustered deff = {} (b = 100)",
+            result.design_effect
+        );
+        // The inflated phase 2 reads far more blocks than the pilot.
+        assert!(result.phase2_blocks > 5 * result.pilot_blocks);
+    }
+
+    #[test]
+    fn deff_orders_the_layouts() {
+        let n = 80_000i64;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut random: Vec<i64> = (0..n).collect();
+        random.shuffle(&mut rng);
+        let sorted: Vec<i64> = (0..n).collect();
+
+        let deff_of = |data: &[i64], seed: u64| {
+            let src = SliceBlocks::new(data, 80);
+            run(&src, &config(), &mut StdRng::seed_from_u64(seed)).design_effect
+        };
+        let d_random = deff_of(&random, 5);
+        let d_sorted = deff_of(&sorted, 6);
+        assert!(d_sorted > 10.0 * d_random, "sorted {d_sorted} vs random {d_random}");
+    }
+
+    #[test]
+    fn result_accounting_is_consistent() {
+        let mut data: Vec<i64> = (0..50_000).collect();
+        data.shuffle(&mut StdRng::seed_from_u64(7));
+        let src = SliceBlocks::new(&data, 50);
+        let mut rng = StdRng::seed_from_u64(8);
+        let result = run(&src, &config(), &mut rng);
+        assert_eq!(
+            result.tuples_sampled as usize,
+            result.sample_sorted.len()
+        );
+        assert_eq!(
+            result.blocks_sampled() * 50,
+            result.sample_sorted.len(),
+            "whole blocks only"
+        );
+        assert!(result.sample_sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(result.histogram.total(), 50_000);
+    }
+
+    #[test]
+    fn phase2_never_shrinks_below_pilot() {
+        // Even when the bound says "pilot was already enough", the result
+        // keeps everything it read.
+        let mut data: Vec<i64> = (0..20_000).collect();
+        data.shuffle(&mut StdRng::seed_from_u64(9));
+        let src = SliceBlocks::new(&data, 100);
+        let cfg = DoubleSamplingConfig {
+            buckets: 5,
+            target_f: 1.0,
+            gamma: 0.5,
+            pilot_blocks: 100,
+        };
+        let mut rng = StdRng::seed_from_u64(10);
+        let result = run(&src, &cfg, &mut rng);
+        assert_eq!(result.pilot_blocks, 100);
+        assert_eq!(result.phase2_blocks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pilot needs at least two blocks")]
+    fn tiny_pilot_rejected() {
+        let data: Vec<i64> = (0..1000).collect();
+        let src = SliceBlocks::new(&data, 10);
+        let cfg = DoubleSamplingConfig { buckets: 5, target_f: 0.5, gamma: 0.1, pilot_blocks: 1 };
+        let _ = run(&src, &cfg, &mut StdRng::seed_from_u64(11));
+    }
+}

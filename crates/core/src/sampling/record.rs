@@ -1,0 +1,121 @@
+//! Record-level (tuple-level) uniform random sampling — the model of the
+//! paper's Section 3.
+//!
+//! The paper's analysis assumes sampling **with** replacement for
+//! simplicity ("our results do carry over to [sampling without
+//! replacement] without any noticeable change in the bounds"); both modes
+//! are provided so the claim can be tested empirically.
+
+use rand::Rng;
+
+/// Draw `r` values uniformly at random **with replacement** from `data`.
+///
+/// # Panics
+/// If `data` is empty and `r > 0`.
+pub fn with_replacement(data: &[i64], r: usize, rng: &mut impl Rng) -> Vec<i64> {
+    assert!(r == 0 || !data.is_empty(), "cannot sample from an empty slice");
+    (0..r).map(|_| data[rng.gen_range(0..data.len())]).collect()
+}
+
+/// Draw `r` values uniformly at random **without replacement** from
+/// `data` (a simple random sample). Uses Floyd-style index sampling from
+/// the `rand` crate, so it is O(r) in time and space regardless of
+/// `data.len()`.
+///
+/// # Panics
+/// If `r > data.len()`.
+pub fn without_replacement(data: &[i64], r: usize, rng: &mut impl Rng) -> Vec<i64> {
+    assert!(
+        r <= data.len(),
+        "cannot draw {r} distinct tuples from {} without replacement",
+        data.len()
+    );
+    rand::seq::index::sample(rng, data.len(), r).into_iter().map(|i| data[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn with_replacement_size_and_membership() {
+        let data: Vec<i64> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = with_replacement(&data, 500, &mut rng);
+        assert_eq!(s.len(), 500);
+        assert!(s.iter().all(|v| (0..100).contains(v)));
+        // With r = 5n, repeats are certain.
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() < 500);
+    }
+
+    #[test]
+    fn without_replacement_is_a_set_of_positions() {
+        // Distinct data: the sample must be duplicate-free.
+        let data: Vec<i64> = (0..1000).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = without_replacement(&data, 200, &mut rng);
+        s.sort_unstable();
+        let before = s.len();
+        s.dedup();
+        assert_eq!(s.len(), before);
+    }
+
+    #[test]
+    fn without_replacement_full_draw_is_permutation() {
+        let data: Vec<i64> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = without_replacement(&data, 50, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, data);
+    }
+
+    #[test]
+    fn zero_sized_samples_are_fine() {
+        let data = [1i64, 2, 3];
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(with_replacement(&data, 0, &mut rng).is_empty());
+        assert!(without_replacement(&data, 0, &mut rng).is_empty());
+        // Even from empty data, a zero-sized sample is legal.
+        assert!(with_replacement(&[], 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn with_replacement_is_roughly_uniform() {
+        // Chi-square-ish sanity check on a fixed seed: each of 10 values
+        // should get about r/10 draws.
+        let data: Vec<i64> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = 100_000;
+        let s = with_replacement(&data, r, &mut rng);
+        let mut counts = [0u64; 10];
+        for v in s {
+            counts[v as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let expected = r as f64 / 10.0;
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "value {v} drawn {c} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn oversized_srs_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = without_replacement(&[1, 2, 3], 4, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn with_replacement_from_empty_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = with_replacement(&[], 1, &mut rng);
+    }
+}

@@ -1,0 +1,143 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! A streaming substrate: maintains a uniform without-replacement sample
+//! of fixed capacity over a stream of unknown length. The engine uses it
+//! for the row-sampling `ANALYZE` mode, where the scan produces tuples one
+//! page at a time and we do not want to materialize the column first.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform reservoir sample.
+///
+/// After observing `t ≥ capacity` items, every item seen so far is present
+/// in the reservoir with probability exactly `capacity / t`.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    items: Vec<i64>,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Create an empty reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self { capacity, items: Vec::with_capacity(capacity), seen: 0 }
+    }
+
+    /// Offer one item from the stream.
+    pub fn offer(&mut self, value: i64, rng: &mut impl Rng) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(value);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = value;
+            }
+        }
+    }
+
+    /// Offer a whole slice (e.g. one page of tuples).
+    pub fn offer_all(&mut self, values: &[i64], rng: &mut impl Rng) {
+        for &v in values {
+            self.offer(v, rng);
+        }
+    }
+
+    /// Number of stream items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current sample contents (unordered).
+    pub fn items(&self) -> &[i64] {
+        &self.items
+    }
+
+    /// Consume the reservoir, returning the sample.
+    pub fn into_sample(self) -> Vec<i64> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_up_then_stays_at_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut res = Reservoir::new(10);
+        for v in 0..5 {
+            res.offer(v, &mut rng);
+        }
+        assert_eq!(res.items().len(), 5);
+        for v in 5..100 {
+            res.offer(v, &mut rng);
+        }
+        assert_eq!(res.items().len(), 10);
+        assert_eq!(res.seen(), 100);
+    }
+
+    #[test]
+    fn short_stream_is_kept_verbatim() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut res = Reservoir::new(100);
+        res.offer_all(&[3, 1, 4, 1, 5], &mut rng);
+        assert_eq!(res.items(), &[3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Stream 0..200 into a capacity-20 reservoir many times; each item
+        // should appear with probability ~0.1.
+        let trials = 2000;
+        let mut inclusion = vec![0u32; 200];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..trials {
+            let mut res = Reservoir::new(20);
+            for v in 0..200 {
+                res.offer(v, &mut rng);
+            }
+            for &v in res.items() {
+                inclusion[v as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.1;
+        let sigma = (trials as f64 * 0.1 * 0.9).sqrt();
+        for (v, &c) in inclusion.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * sigma,
+                "item {v}: included {c} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_sample_hands_back_items() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut res = Reservoir::new(3);
+        res.offer_all(&[10, 20, 30, 40], &mut rng);
+        let s = res.into_sample();
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|v| [10, 20, 30, 40].contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Reservoir::new(0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Step-size schedules for the adaptive CVB algorithm.
+//!
+//! The paper's analysis (Section 4.2) recommends the **doubling** schedule
+//! `g_{i+1} = Σ_{j≤i} g_j` — each round samples as many new blocks as all
+//! previous rounds combined, so the algorithm overshoots the unknown
+//! optimal sampling amount by at most 2×. The SQL Server 7.0 prototype
+//! (Section 7.1) instead stepped the *accumulated* sample through multiples
+//! of √n to trade merge cost against oversampling risk; both are provided,
+//! plus fixed and geometric generalizations, because the paper explicitly
+//! frames the schedule as a tunable ("we experimented with a variety of
+//! stepping functions").
+
+/// Everything a schedule may consult when sizing the next batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleContext {
+    /// 1-based index of the round about to start (round 1 draws the
+    /// initial sample).
+    pub round: usize,
+    /// Blocks drawn in all previous rounds.
+    pub blocks_so_far: usize,
+    /// Tuples accumulated in all previous rounds.
+    pub tuples_so_far: u64,
+    /// Total tuples in the relation.
+    pub total_tuples: u64,
+    /// Average tuples per block (`b`).
+    pub tuples_per_block: f64,
+}
+
+/// A stepping policy: how many **new** blocks to draw in the next round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// The paper's analyzed schedule: round 1 draws `initial_blocks`,
+    /// every later round draws as many blocks as have been drawn so far
+    /// (total doubles each round; `g_0 = g, g_1 = g, g_2 = 2g, …`).
+    Doubling {
+        /// Blocks in the first round (`g_0 = r/b` in the paper's step 1).
+        initial_blocks: usize,
+    },
+    /// The SQL Server 7.0 prototype's schedule: after round `i` the
+    /// accumulated sample holds `multiplier · i · √n` tuples.
+    SqrtSteps {
+        /// The prototype used 5.
+        multiplier: f64,
+    },
+    /// Geometric growth of the accumulated total by `ratio` per round.
+    Geometric {
+        /// Blocks in the first round.
+        initial_blocks: usize,
+        /// Growth factor per round (> 1).
+        ratio: f64,
+    },
+    /// The non-adaptive strawman: the same number of blocks every round.
+    Fixed {
+        /// Blocks per round.
+        blocks_per_round: usize,
+    },
+}
+
+impl Schedule {
+    /// Blocks to draw in the round described by `ctx` (always ≥ 1; the
+    /// caller clamps to the blocks actually remaining).
+    pub fn next_blocks(&self, ctx: &ScheduleContext) -> usize {
+        debug_assert!(ctx.round >= 1);
+        let inc = match *self {
+            Schedule::Doubling { initial_blocks } => {
+                if ctx.round == 1 {
+                    initial_blocks
+                } else {
+                    ctx.blocks_so_far
+                }
+            }
+            Schedule::SqrtSteps { multiplier } => {
+                let target =
+                    multiplier * ctx.round as f64 * (ctx.total_tuples as f64).sqrt();
+                let deficit_tuples = (target - ctx.tuples_so_far as f64).max(0.0);
+                (deficit_tuples / ctx.tuples_per_block.max(1.0)).ceil() as usize
+            }
+            Schedule::Geometric { initial_blocks, ratio } => {
+                if ctx.round == 1 {
+                    initial_blocks
+                } else {
+                    // Grow the accumulated total to blocks_so_far * ratio.
+                    ((ctx.blocks_so_far as f64 * (ratio - 1.0)).ceil() as usize).max(1)
+                }
+            }
+            Schedule::Fixed { blocks_per_round } => blocks_per_round,
+        };
+        inc.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(round: usize, blocks: usize, tuples: u64) -> ScheduleContext {
+        ScheduleContext {
+            round,
+            blocks_so_far: blocks,
+            tuples_so_far: tuples,
+            total_tuples: 1_000_000,
+            tuples_per_block: 100.0,
+        }
+    }
+
+    #[test]
+    fn doubling_matches_paper_sequence() {
+        // g_0 = g, g_1 = g, g_2 = 2g, g_3 = 4g, ... (increments), i.e. the
+        // accumulated total after round i is 2^{i-1} * 2g ... concretely:
+        let s = Schedule::Doubling { initial_blocks: 10 };
+        let mut total = 0usize;
+        let mut increments = Vec::new();
+        for round in 1..=5 {
+            let g = s.next_blocks(&ctx(round, total, 0));
+            increments.push(g);
+            total += g;
+        }
+        assert_eq!(increments, vec![10, 10, 20, 40, 80]);
+        assert_eq!(total, 160);
+    }
+
+    #[test]
+    fn sqrt_steps_accumulates_multiples_of_sqrt_n() {
+        let s = Schedule::SqrtSteps { multiplier: 5.0 };
+        // sqrt(1e6) = 1000; targets are 5000, 10000, 15000 tuples.
+        let g1 = s.next_blocks(&ctx(1, 0, 0));
+        assert_eq!(g1, 50); // 5000 tuples / 100 per block
+        let g2 = s.next_blocks(&ctx(2, 50, 5_000));
+        assert_eq!(g2, 50);
+        // If a round overshot (blocks have more tuples than expected), the
+        // next increment shrinks accordingly.
+        let g3 = s.next_blocks(&ctx(3, 100, 14_500));
+        assert_eq!(g3, 5);
+        // Already past the target: still draws the minimum of 1.
+        let g4 = s.next_blocks(&ctx(4, 120, 50_000));
+        assert_eq!(g4, 1);
+    }
+
+    #[test]
+    fn geometric_growth() {
+        let s = Schedule::Geometric { initial_blocks: 8, ratio: 3.0 };
+        assert_eq!(s.next_blocks(&ctx(1, 0, 0)), 8);
+        assert_eq!(s.next_blocks(&ctx(2, 8, 800)), 16); // 8 -> 24 total
+        assert_eq!(s.next_blocks(&ctx(3, 24, 2_400)), 48); // 24 -> 72 total
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let s = Schedule::Fixed { blocks_per_round: 7 };
+        for round in 1..=4 {
+            assert_eq!(s.next_blocks(&ctx(round, round * 7, 0)), 7);
+        }
+    }
+
+    #[test]
+    fn never_returns_zero() {
+        for s in [
+            Schedule::Doubling { initial_blocks: 0 },
+            Schedule::SqrtSteps { multiplier: 0.0001 },
+            Schedule::Geometric { initial_blocks: 0, ratio: 1.0 },
+            Schedule::Fixed { blocks_per_round: 0 },
+        ] {
+            assert!(s.next_blocks(&ctx(1, 0, 0)) >= 1, "{s:?}");
+            assert!(s.next_blocks(&ctx(5, 100, 10_000)) >= 1, "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Walker's alias method — O(1) sampling from an arbitrary discrete
+//! distribution, the substrate under the "sampled" generator flavors.
+
+use rand::Rng;
+
+/// A prepared alias table over `weights.len()` outcomes.
+///
+/// Construction is O(k); each draw is O(1): pick a column uniformly, then
+/// flip a biased coin between the column's own outcome and its alias.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of each column's primary outcome.
+    prob: Vec<f64>,
+    /// The alternative outcome stored in each column.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// If `weights` is empty, contains a negative or non-finite value, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one outcome");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let k = weights.len();
+        // Scale so the average column holds probability 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0f64; k];
+        let mut alias = vec![0usize; k];
+
+        // Partition columns into under- and over-full.
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let Some(s) = small.pop() {
+            // NB: pop `large` only after `small` succeeded — popping both
+            // in one tuple pattern would eagerly consume (and lose) an
+            // element from whichever stack outlives the other.
+            match large.pop() {
+                Some(l) => {
+                    prob[s] = scaled[s];
+                    alias[s] = l;
+                    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+                    if scaled[l] < 1.0 {
+                        small.push(l);
+                    } else {
+                        large.push(l);
+                    }
+                }
+                None => {
+                    // Numerical leftover: a column that is full up to
+                    // floating-point rounding.
+                    prob[s] = 1.0;
+                    alias[s] = s;
+                }
+            }
+        }
+        for i in large {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (it never is; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let col = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_outcome_always_wins() {
+        let t = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = draws as f64 * w / total;
+            let sigma = (expected * (1.0 - w / total)).sqrt();
+            assert!(
+                (counts[i] as f64 - expected).abs() < 5.0 * sigma,
+                "outcome {i}: {} vs expected {expected}",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn len_reports_outcomes() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! # samplehist-data
+//!
+//! Workload generators for the histogram-sampling experiments, mirroring
+//! the data generation of the paper's Section 7.1:
+//!
+//! * [`Zipf`] — the paper's main family: "We generated data using the
+//!   Zipf distributions. The skewness parameter Z was varied [0..4]".
+//!   Z = 0 is uniform over the domain; Z = 4 concentrates ~92% of all
+//!   tuples on a single value.
+//! * [`UnifDup`] — the "Unif/Dup" distribution of Figures 10/12:
+//!   "uniform with the additional constraint that each distinct value
+//!   occurred 100 times".
+//! * [`UniformDistinct`] / [`UniformRandom`] — duplicate-free
+//!   permutations and uniform draws with collisions.
+//! * [`Normal`] and [`SelfSimilar`] — extra shapes (rounded Gaussian and
+//!   the 80-20 self-similar rule) for wider test coverage.
+//!
+//! Every generator produces a plain `Vec<i64>` of attribute values; pair
+//! it with `samplehist_storage::Layout` to control physical placement.
+//! Generators come in two flavors where it matters: **exact** frequencies
+//! (deterministic multiplicities, so the true distinct count is fixed
+//! across runs — what the paper's tables assume) and **sampled**
+//! (i.i.d. per-tuple draws through a Walker [`AliasTable`]).
+
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use samplehist_data::{DataSpec, DataSummary};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let dataset = DataSpec::Zipf { z: 2.0, domain: 10_000 }.generate(100_000, &mut rng);
+//! let mut sorted = dataset.values;
+//! sorted.sort_unstable();
+//! let summary = DataSummary::of_sorted(&sorted);
+//! assert_eq!(summary.n, 100_000);
+//! // Z = 2 concentrates ~61% of the mass on the top value.
+//! assert!(summary.max_multiplicity > 55_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod alias;
+mod normal;
+mod self_similar;
+mod spec;
+mod stats;
+mod unif_dup;
+mod uniform;
+mod zipf;
+
+pub use alias::AliasTable;
+pub use normal::Normal;
+pub use self_similar::SelfSimilar;
+pub use spec::{DataSpec, Dataset};
+pub use stats::{distinct_count, DataSummary};
+pub use unif_dup::UnifDup;
+pub use uniform::{UniformDistinct, UniformRandom};
+pub use zipf::Zipf;

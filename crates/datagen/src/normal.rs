@@ -1,0 +1,91 @@
+//! Rounded-Gaussian value generation (extra coverage beyond the paper's
+//! Zipf family: a smooth unimodal distribution with soft duplication).
+
+use rand::Rng;
+
+/// Values drawn from `N(mean, std_dev²)` and rounded to the nearest
+/// integer. Implemented with the Box–Muller transform so the crate needs
+/// no distribution dependency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Center of the distribution.
+    pub mean: f64,
+    /// Spread; larger values mean fewer duplicates after rounding.
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Create an `N(mean, std_dev²)` generator.
+    ///
+    /// # Panics
+    /// If `std_dev` is not a positive finite number.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(
+            std_dev.is_finite() && std_dev > 0.0,
+            "standard deviation must be positive, got {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// Materialize `n` rounded draws.
+    pub fn materialize(&self, n: u64, rng: &mut impl Rng) -> Vec<i64> {
+        assert!(n > 0, "need at least one tuple");
+        let mut out = Vec::with_capacity(n as usize);
+        while out.len() < n as usize {
+            // Box–Muller: two uniforms -> two independent normals.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let radius = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            for g in [radius * theta.cos(), radius * theta.sin()] {
+                if out.len() < n as usize {
+                    out.push((self.mean + self.std_dev * g).round() as i64);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Normal::new(1000.0, 50.0);
+        let data = g.materialize(100_000, &mut rng);
+        let mean: f64 = data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64;
+        let var: f64 = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+            / (data.len() - 1) as f64;
+        assert!((mean - 1000.0).abs() < 1.0, "mean = {mean}");
+        assert!((var.sqrt() - 50.0).abs() < 1.0, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn odd_n_handled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Normal::new(0.0, 1.0).materialize(7, &mut rng);
+        assert_eq!(data.len(), 7);
+    }
+
+    #[test]
+    fn tight_sd_produces_heavy_duplication() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Normal::new(0.0, 0.4).materialize(10_000, &mut rng);
+        let mut distinct = data.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() < 20, "{} distinct values", distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation must be positive")]
+    fn bad_sd_rejected() {
+        let _ = Normal::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The 80-20 self-similar distribution (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases") — a classic skew shape used
+//! throughout the synthetic-database literature contemporaneous with the
+//! paper.
+
+use rand::Rng;
+
+/// Self-similar (h, 1−h) rule over `0..domain`: the first `h·domain`
+/// values receive `(1−h)` of the probability mass, recursively. `h = 0.2`
+/// is the canonical "80-20 rule".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfSimilar {
+    /// Domain size.
+    pub domain: u64,
+    /// Skew parameter in (0, 1); smaller h = more skew.
+    pub h: f64,
+}
+
+impl SelfSimilar {
+    /// The canonical 80-20 configuration.
+    pub fn eighty_twenty(domain: u64) -> Self {
+        Self::new(domain, 0.2)
+    }
+
+    /// Create a self-similar distribution.
+    ///
+    /// # Panics
+    /// If `domain == 0` or `h ∉ (0, 1)`.
+    pub fn new(domain: u64, h: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(h > 0.0 && h < 1.0, "h must be in (0,1), got {h}");
+        Self { domain, h }
+    }
+
+    /// One draw (Gray et al.'s closed form:
+    /// `⌊domain · u^(log h / log(1−h))⌋`).
+    pub fn draw(&self, rng: &mut impl Rng) -> i64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let exponent = self.h.ln() / (1.0 - self.h).ln();
+        let v = (self.domain as f64 * u.powf(exponent)).floor() as i64;
+        v.min(self.domain as i64 - 1)
+    }
+
+    /// Materialize `n` draws.
+    pub fn materialize(&self, n: u64, rng: &mut impl Rng) -> Vec<i64> {
+        assert!(n > 0, "need at least one tuple");
+        (0..n).map(|_| self.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eighty_twenty_property() {
+        // The first 20% of the domain should hold ~80% of the mass.
+        let s = SelfSimilar::eighty_twenty(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = s.materialize(100_000, &mut rng);
+        let head = data.iter().filter(|&&v| v < 200).count() as f64 / 1.0e5;
+        assert!((head - 0.8).abs() < 0.02, "head share = {head}");
+    }
+
+    #[test]
+    fn recursion_within_the_head() {
+        // Self-similarity: the first 4% holds ~64%.
+        let s = SelfSimilar::eighty_twenty(10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = s.materialize(200_000, &mut rng);
+        let head = data.iter().filter(|&&v| v < 400).count() as f64 / 2.0e5;
+        assert!((head - 0.64).abs() < 0.02, "head² share = {head}");
+    }
+
+    #[test]
+    fn draws_stay_in_domain() {
+        let s = SelfSimilar::new(100, 0.4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = s.draw(&mut rng);
+            assert!((0..100).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be in (0,1)")]
+    fn bad_h_rejected() {
+        let _ = SelfSimilar::new(100, 1.0);
+    }
+}

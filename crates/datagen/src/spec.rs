@@ -1,0 +1,171 @@
+//! A unifying `DataSpec` enum so experiments can sweep distributions by
+//! value.
+
+use rand::Rng;
+
+use crate::normal::Normal;
+use crate::self_similar::SelfSimilar;
+use crate::unif_dup::UnifDup;
+use crate::uniform::{UniformDistinct, UniformRandom};
+use crate::zipf::Zipf;
+
+/// One generated dataset: values plus a human-readable label for
+/// experiment output.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The attribute values (ordering is generator-dependent; apply a
+    /// `Layout` before packing into pages).
+    pub values: Vec<i64>,
+    /// e.g. `"Zipf(Z=2)"`, `"Unif/Dup(100)"`.
+    pub label: String,
+}
+
+/// Every distribution the experiment harness knows how to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataSpec {
+    /// Zipf with exact (deterministic) multiplicities.
+    Zipf {
+        /// Skew parameter.
+        z: f64,
+        /// Domain size (max distinct values).
+        domain: usize,
+    },
+    /// Zipf materialized by i.i.d. draws.
+    ZipfSampled {
+        /// Skew parameter.
+        z: f64,
+        /// Domain size.
+        domain: usize,
+    },
+    /// Every value exactly `copies` times.
+    UnifDup {
+        /// Multiplicity per value (paper: 100).
+        copies: u64,
+    },
+    /// All values distinct (`0..n`).
+    UniformDistinct,
+    /// Uniform i.i.d. draws over a domain.
+    UniformRandom {
+        /// Domain size.
+        domain: u64,
+    },
+    /// Rounded Gaussian.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Self-similar (h, 1−h) skew.
+    SelfSimilar {
+        /// Domain size.
+        domain: u64,
+        /// Skew parameter in (0,1).
+        h: f64,
+    },
+}
+
+impl DataSpec {
+    /// Generate `n` tuples. Deterministic specs ignore the RNG for values
+    /// (but take it anyway so call sites are uniform).
+    pub fn generate(&self, n: u64, rng: &mut impl Rng) -> Dataset {
+        let values = match *self {
+            DataSpec::Zipf { z, domain } => Zipf::new(z, domain).materialize_exact(n),
+            DataSpec::ZipfSampled { z, domain } => {
+                Zipf::new(z, domain).materialize_sampled(n, rng)
+            }
+            DataSpec::UnifDup { copies } => UnifDup::new(copies).materialize(n),
+            DataSpec::UniformDistinct => UniformDistinct.materialize(n),
+            DataSpec::UniformRandom { domain } => {
+                UniformRandom::new(domain).materialize(n, rng)
+            }
+            DataSpec::Normal { mean, std_dev } => {
+                Normal::new(mean, std_dev).materialize(n, rng)
+            }
+            DataSpec::SelfSimilar { domain, h } => {
+                SelfSimilar::new(domain, h).materialize(n, rng)
+            }
+        };
+        Dataset { values, label: self.label() }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            DataSpec::Zipf { z, .. } => format!("Zipf(Z={z})"),
+            DataSpec::ZipfSampled { z, .. } => format!("Zipf~(Z={z})"),
+            DataSpec::UnifDup { copies } => format!("Unif/Dup({copies})"),
+            DataSpec::UniformDistinct => "UniformDistinct".to_string(),
+            DataSpec::UniformRandom { domain } => format!("Uniform(0..{domain})"),
+            DataSpec::Normal { mean, std_dev } => format!("Normal({mean},{std_dev})"),
+            DataSpec::SelfSimilar { h, .. } => format!("SelfSimilar(h={h})"),
+        }
+    }
+
+    /// The paper's three reported skews (Section 7.2, Figure 5) over a
+    /// domain scaled to the relation size.
+    pub fn paper_zipf_sweep(n: u64) -> Vec<DataSpec> {
+        let domain = (n / 10).max(1000) as usize;
+        [0.0, 2.0, 4.0].into_iter().map(|z| DataSpec::Zipf { z, domain }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_spec_generates_n_tuples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let specs = [
+            DataSpec::Zipf { z: 2.0, domain: 1000 },
+            DataSpec::ZipfSampled { z: 1.0, domain: 1000 },
+            DataSpec::UnifDup { copies: 100 },
+            DataSpec::UniformDistinct,
+            DataSpec::UniformRandom { domain: 500 },
+            DataSpec::Normal { mean: 0.0, std_dev: 10.0 },
+            DataSpec::SelfSimilar { domain: 1000, h: 0.2 },
+        ];
+        for spec in specs {
+            let ds = spec.generate(5_000, &mut rng);
+            assert_eq!(ds.values.len(), 5_000, "{}", ds.label);
+            assert!(!ds.label.is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<String> = vec![
+            DataSpec::Zipf { z: 2.0, domain: 10 }.label(),
+            DataSpec::ZipfSampled { z: 2.0, domain: 10 }.label(),
+            DataSpec::UnifDup { copies: 100 }.label(),
+            DataSpec::UniformDistinct.label(),
+            DataSpec::UniformRandom { domain: 10 }.label(),
+            DataSpec::Normal { mean: 0.0, std_dev: 1.0 }.label(),
+            DataSpec::SelfSimilar { domain: 10, h: 0.2 }.label(),
+        ];
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+
+    #[test]
+    fn paper_sweep_has_three_skews() {
+        let sweep = DataSpec::paper_zipf_sweep(1_000_000);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].label(), "Zipf(Z=0)");
+        assert_eq!(sweep[2].label(), "Zipf(Z=4)");
+    }
+
+    #[test]
+    fn deterministic_specs_are_reproducible() {
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(999); // different seed!
+        let a = DataSpec::Zipf { z: 2.0, domain: 500 }.generate(10_000, &mut rng1);
+        let b = DataSpec::Zipf { z: 2.0, domain: 500 }.generate(10_000, &mut rng2);
+        assert_eq!(a.values, b.values, "exact Zipf ignores the RNG");
+    }
+}

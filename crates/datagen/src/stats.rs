@@ -1,0 +1,106 @@
+//! Ground-truth summaries of generated datasets — the "Real" columns of
+//! the paper's figures.
+
+/// Exact number of distinct values in a **sorted** multiset.
+pub fn distinct_count(sorted: &[i64]) -> u64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
+/// Ground-truth summary of one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataSummary {
+    /// Tuple count.
+    pub n: u64,
+    /// Exact distinct count.
+    pub distinct: u64,
+    /// Smallest value.
+    pub min: i64,
+    /// Largest value.
+    pub max: i64,
+    /// Largest multiplicity of any value.
+    pub max_multiplicity: u64,
+    /// Duplication density in \[0,1\] (0 = all distinct, 1 = all equal).
+    pub density: f64,
+}
+
+impl DataSummary {
+    /// Summarize a **sorted** multiset.
+    ///
+    /// # Panics
+    /// If the input is empty.
+    pub fn of_sorted(sorted: &[i64]) -> Self {
+        assert!(!sorted.is_empty(), "cannot summarize an empty dataset");
+        let n = sorted.len() as u64;
+        let mut distinct = 0u64;
+        let mut max_multiplicity = 0u64;
+        let mut sum_sq = 0u128;
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let v = sorted[i];
+            let start = i;
+            while i < sorted.len() && sorted[i] == v {
+                i += 1;
+            }
+            let c = (i - start) as u64;
+            distinct += 1;
+            max_multiplicity = max_multiplicity.max(c);
+            sum_sq += (c as u128) * (c as u128);
+        }
+        let density = if n == 1 {
+            0.0
+        } else {
+            ((sum_sq - n as u128) as f64) / ((n as u128 * n as u128 - n as u128) as f64)
+        };
+        Self {
+            n,
+            distinct,
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            max_multiplicity,
+            density,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_count_basics() {
+        assert_eq!(distinct_count(&[]), 0);
+        assert_eq!(distinct_count(&[5]), 1);
+        assert_eq!(distinct_count(&[1, 1, 1]), 1);
+        assert_eq!(distinct_count(&[1, 2, 2, 3]), 3);
+    }
+
+    #[test]
+    fn summary_of_mixed_data() {
+        let data = [1i64, 1, 1, 4, 7, 7];
+        let s = DataSummary::of_sorted(&data);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.max_multiplicity, 3);
+        // sum c² = 9 + 1 + 4 = 14; density = (14-6)/(36-6) = 8/30.
+        assert!((s.density - 8.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert_eq!(DataSummary::of_sorted(&[1, 2, 3]).density, 0.0);
+        assert_eq!(DataSummary::of_sorted(&[9, 9, 9]).density, 1.0);
+        assert_eq!(DataSummary::of_sorted(&[42]).density, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_summary_rejected() {
+        let _ = DataSummary::of_sorted(&[]);
+    }
+}

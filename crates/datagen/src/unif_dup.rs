@@ -1,0 +1,90 @@
+//! The Unif/Dup distribution of paper Figures 10 and 12: "uniform with
+//! the additional constraint that each distinct value occurred 100
+//! times".
+
+/// Every distinct value occurs exactly `copies` times (the last value may
+/// be short when `copies` does not divide `n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnifDup {
+    /// Multiplicity of every value; the paper uses 100.
+    pub copies: u64,
+}
+
+impl UnifDup {
+    /// The paper's configuration: 100 copies per value.
+    pub fn paper() -> Self {
+        Self { copies: 100 }
+    }
+
+    /// Create with a custom multiplicity.
+    ///
+    /// # Panics
+    /// If `copies == 0`.
+    pub fn new(copies: u64) -> Self {
+        assert!(copies > 0, "multiplicity must be positive");
+        Self { copies }
+    }
+
+    /// The distinct count this produces for `n` tuples: `⌈n/copies⌉`.
+    pub fn distinct_count(&self, n: u64) -> u64 {
+        n.div_ceil(self.copies)
+    }
+
+    /// Materialize `n` tuples, sorted by value (`0, 0, …, 1, 1, …`).
+    /// Apply a layout for physical placement.
+    pub fn materialize(&self, n: u64) -> Vec<i64> {
+        assert!(n > 0, "need at least one tuple");
+        let mut out = Vec::with_capacity(n as usize);
+        let mut v = 0i64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(self.copies);
+            out.extend(std::iter::repeat(v).take(take as usize));
+            remaining -= take;
+            v += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let u = UnifDup::paper();
+        assert_eq!(u.copies, 100);
+        // The paper: n = 10M -> d = 100,000.
+        assert_eq!(u.distinct_count(10_000_000), 100_000);
+    }
+
+    #[test]
+    fn exact_multiplicities() {
+        let data = UnifDup::new(4).materialize(20);
+        assert_eq!(data.len(), 20);
+        for v in 0..5i64 {
+            assert_eq!(data.iter().filter(|&&x| x == v).count(), 4);
+        }
+    }
+
+    #[test]
+    fn short_last_value() {
+        let data = UnifDup::new(7).materialize(16);
+        assert_eq!(data.len(), 16);
+        assert_eq!(data.iter().filter(|&&x| x == 2).count(), 2, "last value short");
+        assert_eq!(UnifDup::new(7).distinct_count(16), 3);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let data = UnifDup::new(10).materialize(1000);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplicity must be positive")]
+    fn zero_copies_rejected() {
+        let _ = UnifDup::new(0);
+    }
+}

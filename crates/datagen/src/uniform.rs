@@ -1,0 +1,85 @@
+//! Uniform value generators: the duplicate-free permutation and uniform
+//! draws over a bounded domain.
+
+use rand::Rng;
+
+/// All `n` values distinct: the integers `0..n` (sorted; apply a layout
+/// to scatter them physically). The cleanest setting for Section 3's
+/// record-level theory, which assumes duplicate-free value sets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformDistinct;
+
+impl UniformDistinct {
+    /// Materialize `0..n`.
+    pub fn materialize(&self, n: u64) -> Vec<i64> {
+        assert!(n > 0, "need at least one tuple");
+        (0..n as i64).collect()
+    }
+}
+
+/// `n` independent uniform draws from `0..domain` — duplicates occur with
+/// birthday-paradox frequency, distinct count is random.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformRandom {
+    /// Domain size.
+    pub domain: u64,
+}
+
+impl UniformRandom {
+    /// Create over `0..domain`.
+    ///
+    /// # Panics
+    /// If `domain == 0`.
+    pub fn new(domain: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Self { domain }
+    }
+
+    /// Materialize `n` draws.
+    pub fn materialize(&self, n: u64, rng: &mut impl Rng) -> Vec<i64> {
+        assert!(n > 0, "need at least one tuple");
+        (0..n).map(|_| rng.gen_range(0..self.domain) as i64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distinct_is_a_range() {
+        let data = UniformDistinct.materialize(100);
+        assert_eq!(data, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_draws_stay_in_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = UniformRandom::new(50).materialize(10_000, &mut rng);
+        assert_eq!(data.len(), 10_000);
+        assert!(data.iter().all(|&v| (0..50).contains(&v)));
+        // With n >> domain every value appears.
+        let mut seen = data.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn random_draws_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = UniformRandom::new(10).materialize(100_000, &mut rng);
+        for v in 0..10i64 {
+            let c = data.iter().filter(|&&x| x == v).count() as f64;
+            assert!((c - 10_000.0).abs() < 500.0, "value {v}: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn zero_domain_rejected() {
+        let _ = UniformRandom::new(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Zipf-distributed value generation (paper Section 7.1; reference [29]).
+//!
+//! A Zipf distribution over a domain of `D` ranked values gives rank `i`
+//! (1-based) probability proportional to `1/i^Z`. `Z = 0` is uniform;
+//! the paper sweeps `Z ∈ [0, 4]` and reports `Z ∈ {0, 2, 4}`.
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+
+/// A Zipf(Z) distribution over `domain` candidate values.
+///
+/// Values are the integers `0 .. domain`, with rank 1 (the most frequent)
+/// at value 0. Ranks whose exact share of `n` tuples rounds to zero simply
+/// do not occur, so the realized distinct count `d` emerges from `(n,
+/// domain, Z)` just as it did in the paper's tables (their Z = 2, n = 10M
+/// run reports d = 6101).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    /// Skew parameter Z ≥ 0.
+    pub z: f64,
+    /// Domain size (maximum possible number of distinct values).
+    pub domain: usize,
+}
+
+impl Zipf {
+    /// Create a Zipf(Z) spec over `domain` values.
+    ///
+    /// # Panics
+    /// If `domain == 0` or `z` is negative/non-finite.
+    pub fn new(z: f64, domain: usize) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(z.is_finite() && z >= 0.0, "Z must be a non-negative real, got {z}");
+        Self { z, domain }
+    }
+
+    /// Unnormalized rank weights `1/i^Z`, `i = 1 ..= domain`.
+    pub fn weights(&self) -> Vec<f64> {
+        (1..=self.domain).map(|i| (i as f64).powf(-self.z)).collect()
+    }
+
+    /// Deterministic multiplicities: apportion exactly `n` tuples to the
+    /// ranks by largest-remainder rounding of `n·w_i/Σw`, dropping ranks
+    /// that receive zero. Returns `(value, count)` pairs, ascending by
+    /// value, counts summing to `n`.
+    pub fn exact_counts(&self, n: u64) -> Vec<(i64, u64)> {
+        assert!(n > 0, "need at least one tuple");
+        let weights = self.weights();
+        let total: f64 = weights.iter().sum();
+        let raw: Vec<f64> = weights.iter().map(|&w| n as f64 * w / total).collect();
+        let mut counts: Vec<u64> = raw.iter().map(|&x| x.floor() as u64).collect();
+        let assigned: u64 = counts.iter().sum();
+        let mut leftover = (n - assigned) as usize;
+
+        let mut order: Vec<usize> = (0..raw.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = raw[a] - raw[a].floor();
+            let fb = raw[b] - raw[b].floor();
+            fb.partial_cmp(&fa).expect("finite").then(a.cmp(&b))
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            counts[i] += 1;
+            leftover -= 1;
+        }
+
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(i, c)| (i as i64, c))
+            .collect()
+    }
+
+    /// Materialize `n` tuples with the **exact** multiplicities of
+    /// [`Self::exact_counts`] (sorted by value; apply a layout to place
+    /// them physically).
+    pub fn materialize_exact(&self, n: u64) -> Vec<i64> {
+        let mut out = Vec::with_capacity(n as usize);
+        for (v, c) in self.exact_counts(n) {
+            out.extend(std::iter::repeat(v).take(c as usize));
+        }
+        out
+    }
+
+    /// Materialize `n` i.i.d. draws from the distribution (realized
+    /// multiplicities fluctuate; realized d is random).
+    pub fn materialize_sampled(&self, n: u64, rng: &mut impl Rng) -> Vec<i64> {
+        let table = AliasTable::new(&self.weights());
+        (0..n).map(|_| table.sample(rng) as i64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_zero_is_uniform() {
+        let z = Zipf::new(0.0, 100);
+        let counts = z.exact_counts(1000);
+        assert_eq!(counts.len(), 100);
+        assert!(counts.iter().all(|&(_, c)| c == 10));
+    }
+
+    #[test]
+    fn exact_counts_sum_to_n() {
+        for z in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let spec = Zipf::new(z, 1000);
+            let counts = spec.exact_counts(12_345);
+            let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, 12_345, "Z = {z}");
+        }
+    }
+
+    #[test]
+    fn counts_are_non_increasing_in_rank() {
+        let counts = Zipf::new(2.0, 500).exact_counts(100_000);
+        // Value == rank-1 here, so counts must be non-increasing.
+        assert!(counts.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn high_skew_concentrates_mass() {
+        // Z = 4: the top value holds 1/ζ(4) ≈ 92.4% of all tuples.
+        let counts = Zipf::new(4.0, 10_000).exact_counts(1_000_000);
+        let top = counts[0].1 as f64 / 1.0e6;
+        assert!((top - 0.924).abs() < 0.005, "top share = {top}");
+    }
+
+    #[test]
+    fn realized_distinct_count_shrinks_with_skew() {
+        let n = 100_000u64;
+        let d = |z: f64| Zipf::new(z, 50_000).exact_counts(n).len();
+        let (d0, d2, d4) = (d(0.0), d(2.0), d(4.0));
+        assert_eq!(d0, 50_000, "uniform keeps the whole domain");
+        assert!(d2 < d0 && d4 < d2, "d0={d0} d2={d2} d4={d4}");
+        // Z = 2 analytic: ranks up to ~sqrt(n/ζ(2)) get a whole tuple; the
+        // largest-remainder pass hands the leftovers to the next stretch
+        // of near-1 fractional ranks, roughly doubling that.
+        let predicted = (n as f64 / 1.6449).sqrt();
+        assert!(
+            (d2 as f64) > predicted * 0.8 && (d2 as f64) < predicted * 2.2,
+            "d2 = {d2}, predicted ∈ ~[0.8, 2.2]·{predicted:.0}"
+        );
+    }
+
+    #[test]
+    fn materialize_exact_is_sorted_and_complete() {
+        let z = Zipf::new(2.0, 1000);
+        let data = z.materialize_exact(10_000);
+        assert_eq!(data.len(), 10_000);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sampled_flavor_approximates_exact_shares() {
+        let z = Zipf::new(1.0, 50);
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = z.materialize_sampled(100_000, &mut rng);
+        assert_eq!(data.len(), 100_000);
+        // Top rank share ≈ 1/H_50 ≈ 0.2227.
+        let top = data.iter().filter(|&&v| v == 0).count() as f64 / 1.0e5;
+        let h50: f64 = (1..=50).map(|i| 1.0 / i as f64).sum();
+        assert!((top - 1.0 / h50).abs() < 0.01, "top share = {top}");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn zero_domain_rejected() {
+        let _ = Zipf::new(1.0, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The statistics catalog: where `ANALYZE` output lives between queries.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::analyze::{analyze, AnalyzeError, AnalyzeOptions};
+use crate::stats::ColumnStatistics;
+use crate::table::Table;
+
+/// An in-memory `sys.stats`: one [`ColumnStatistics`] per (table, column).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: HashMap<(String, String), ColumnStatistics>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run [`analyze`] and store the result, replacing any previous
+    /// statistics for the column. Returns a reference to the stored entry.
+    pub fn analyze_and_store(
+        &mut self,
+        table: &Table,
+        column: &str,
+        options: &AnalyzeOptions,
+        rng: &mut impl Rng,
+    ) -> Result<&ColumnStatistics, AnalyzeError> {
+        let stats = analyze(table, column, options, rng)?;
+        let key = (stats.table.clone(), stats.column.clone());
+        self.entries.insert(key.clone(), stats);
+        Ok(self.entries.get(&key).expect("just inserted"))
+    }
+
+    /// Fetch statistics, if present.
+    pub fn get(&self, table: &str, column: &str) -> Option<&ColumnStatistics> {
+        self.entries.get(&(table.to_string(), column.to_string()))
+    }
+
+    /// Drop statistics for one column (e.g. after heavy updates). Returns
+    /// whether anything was removed.
+    pub fn invalidate(&mut self, table: &str, column: &str) -> bool {
+        self.entries.remove(&(table.to_string(), column.to_string())).is_some()
+    }
+
+    /// Number of stored statistics objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate all stored statistics.
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnStatistics> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use samplehist_storage::Layout;
+
+    fn demo_table(seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Table::builder("t")
+            .column_with_blocking("a", (0..5000).collect(), 50, Layout::Random, &mut rng)
+            .column_with_blocking(
+                "b",
+                (0..5000).map(|i| i / 10).collect(),
+                50,
+                Layout::Random,
+                &mut rng,
+            )
+            .build()
+    }
+
+    #[test]
+    fn store_get_invalidate() {
+        let t = demo_table(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng)
+            .expect("column exists");
+        cat.analyze_and_store(&t, "b", &AnalyzeOptions::full_scan(10), &mut rng)
+            .expect("column exists");
+        assert_eq!(cat.len(), 2);
+        assert!(cat.get("t", "a").is_some());
+        assert!(cat.get("t", "missing").is_none());
+        assert_eq!(cat.get("t", "b").expect("stored").distinct_estimate, 500.0);
+
+        assert!(cat.invalidate("t", "a"));
+        assert!(!cat.invalidate("t", "a"), "already gone");
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn restore_replaces() {
+        let t = demo_table(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cat = Catalog::new();
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng)
+            .expect("exists");
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(25), &mut rng)
+            .expect("exists");
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("t", "a").expect("stored").histogram.num_buckets(), 25);
+    }
+
+    #[test]
+    fn analyze_errors_do_not_pollute() {
+        let t = demo_table(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cat = Catalog::new();
+        let err = cat.analyze_and_store(&t, "zzz", &AnalyzeOptions::full_scan(10), &mut rng);
+        assert!(err.is_err());
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # samplehist-engine
+//!
+//! A miniature statistics subsystem in the style of the SQL Server 7.0
+//! prototype the paper was evaluated on: the consumer-side substrate that
+//! turns the core crate's algorithms into the artifacts a query optimizer
+//! actually uses.
+//!
+//! * [`Table`] / [`Column`] — relations whose columns live in paged heap
+//!   files ([`samplehist_storage::HeapFile`]) with explicit physical
+//!   layouts.
+//! * [`analyze`] — the `UPDATE STATISTICS` equivalent: builds
+//!   [`ColumnStatistics`] (equi-height histogram + density + distinct
+//!   estimate) by full scan, row sampling, block sampling, or the paper's
+//!   adaptive cross-validated block sampling, with the I/O spent doing it
+//!   metered.
+//! * [`Catalog`] — where statistics live between queries.
+//! * [`Predicate`] / [`estimate_cardinality`] — selectivity estimation
+//!   for range and equality predicates from a histogram, the application
+//!   that motivates the paper's max error metric (Theorems 1/3).
+//! * [`optimizer`] — a toy index-seek vs table-scan chooser showing how
+//!   histogram error propagates into plan quality.
+
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use samplehist_engine::{analyze, estimate_cardinality, AnalyzeOptions, Predicate, Table};
+//! use samplehist_storage::Layout;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let table = Table::builder("orders")
+//!     .column("amount", (0..10_000).map(|i| i % 500).collect(), 64, Layout::Random, &mut rng)
+//!     .build();
+//!
+//! // ANALYZE with the paper's adaptive CVB sampling...
+//! let stats = analyze(&table, "amount", &AnalyzeOptions::adaptive(50), &mut rng).unwrap();
+//! // ...and ask the optimizer-facing question.
+//! let est = estimate_cardinality(&stats, &Predicate::Lt(100));
+//! assert!((est.selectivity - 0.2).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod analyze;
+mod catalog;
+pub mod optimizer;
+mod predicate;
+mod selectivity;
+mod stats;
+mod table;
+
+pub use analyze::{analyze, AnalyzeError, AnalyzeMode, AnalyzeOptions};
+pub use catalog::Catalog;
+pub use predicate::Predicate;
+pub use selectivity::{estimate_cardinality, estimate_equijoin, CardinalityEstimate};
+pub use stats::ColumnStatistics;
+pub use table::{Column, Table, TableBuilder};

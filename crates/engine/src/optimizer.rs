@@ -1,0 +1,166 @@
+//! A toy access-path chooser: the downstream decision that histogram
+//! quality actually feeds. The paper's introduction frames everything in
+//! these terms ("the ability of an optimizer to make a good decision is
+//! critically influenced by the availability of statistical
+//! information"); this module makes the causal chain executable:
+//! histogram error → cardinality error → wrong plan → real cost paid.
+
+use crate::selectivity::CardinalityEstimate;
+
+/// The two access paths of the classic selectivity decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Sequential scan of the whole heap file.
+    TableScan,
+    /// Secondary-index seek: one random page fetch per matching row.
+    IndexSeek,
+}
+
+/// Page-cost coefficients (classic System-R-style constants: a random
+/// fetch costs several sequential ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one page in sequential order.
+    pub seq_page_cost: f64,
+    /// Cost of one random page fetch.
+    pub random_page_cost: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // PostgreSQL's venerable defaults.
+        Self { seq_page_cost: 1.0, random_page_cost: 4.0 }
+    }
+}
+
+impl CostModel {
+    /// Cost of scanning a `pages`-page table.
+    pub fn scan_cost(&self, pages: u64) -> f64 {
+        pages as f64 * self.seq_page_cost
+    }
+
+    /// Cost of an index seek returning `rows` rows (one random page per
+    /// row — the pessimistic unclustered-index model).
+    pub fn seek_cost(&self, rows: f64) -> f64 {
+        rows * self.random_page_cost
+    }
+}
+
+/// The chooser's output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChoice {
+    /// The path the optimizer picked from the *estimate*.
+    pub path: AccessPath,
+    /// Estimated cost of a table scan.
+    pub scan_cost: f64,
+    /// Estimated cost of an index seek at the estimated cardinality.
+    pub seek_cost: f64,
+}
+
+/// Pick the cheaper access path for a predicate with cardinality
+/// `estimate` over a table of `pages` pages.
+pub fn choose_access_path(
+    estimate: &CardinalityEstimate,
+    pages: u64,
+    cost: &CostModel,
+) -> PlanChoice {
+    let scan_cost = cost.scan_cost(pages);
+    let seek_cost = cost.seek_cost(estimate.rows);
+    PlanChoice {
+        path: if seek_cost < scan_cost { AccessPath::IndexSeek } else { AccessPath::TableScan },
+        scan_cost,
+        seek_cost,
+    }
+}
+
+/// What a plan choice *actually* costs once the true cardinality is
+/// known, and how much was wasted relative to the best decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanOutcome {
+    /// The path that was executed.
+    pub chosen: AccessPath,
+    /// Its real cost at the true cardinality.
+    pub actual_cost: f64,
+    /// The cheaper of the two paths' real costs.
+    pub optimal_cost: f64,
+    /// `actual / optimal` (≥ 1; 1 = the estimate led to the right plan).
+    pub regret: f64,
+}
+
+/// Evaluate a plan choice against the true cardinality.
+pub fn evaluate_choice(
+    choice: &PlanChoice,
+    true_rows: u64,
+    pages: u64,
+    cost: &CostModel,
+) -> PlanOutcome {
+    let scan = cost.scan_cost(pages);
+    let seek = cost.seek_cost(true_rows as f64);
+    let actual = match choice.path {
+        AccessPath::TableScan => scan,
+        AccessPath::IndexSeek => seek,
+    };
+    let optimal = scan.min(seek);
+    PlanOutcome {
+        chosen: choice.path,
+        actual_cost: actual,
+        optimal_cost: optimal,
+        regret: if optimal > 0.0 { actual / optimal } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(rows: f64, n: f64) -> CardinalityEstimate {
+        CardinalityEstimate { rows, selectivity: rows / n }
+    }
+
+    #[test]
+    fn selective_predicates_seek() {
+        let c = CostModel::default();
+        // 10 rows from a 1000-page table: 40 < 1000.
+        let choice = choose_access_path(&est(10.0, 100_000.0), 1000, &c);
+        assert_eq!(choice.path, AccessPath::IndexSeek);
+    }
+
+    #[test]
+    fn unselective_predicates_scan() {
+        let c = CostModel::default();
+        // 10k rows: 40k > 1000.
+        let choice = choose_access_path(&est(10_000.0, 100_000.0), 1000, &c);
+        assert_eq!(choice.path, AccessPath::TableScan);
+    }
+
+    #[test]
+    fn crossover_point() {
+        let c = CostModel::default();
+        // Seek wins strictly below pages/4 rows.
+        let pages = 1000u64;
+        assert_eq!(choose_access_path(&est(249.0, 1e6), pages, &c).path, AccessPath::IndexSeek);
+        assert_eq!(choose_access_path(&est(250.0, 1e6), pages, &c).path, AccessPath::TableScan);
+    }
+
+    #[test]
+    fn regret_of_a_misestimate() {
+        let c = CostModel::default();
+        let pages = 1000u64;
+        // Estimate says 50 rows (seek, cost 200); truth is 5000 rows
+        // (seek really costs 20000, scan only 1000): regret 20x.
+        let choice = choose_access_path(&est(50.0, 1e6), pages, &c);
+        assert_eq!(choice.path, AccessPath::IndexSeek);
+        let outcome = evaluate_choice(&choice, 5000, pages, &c);
+        assert_eq!(outcome.actual_cost, 20_000.0);
+        assert_eq!(outcome.optimal_cost, 1000.0);
+        assert!((outcome.regret - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_estimates_have_unit_regret() {
+        let c = CostModel::default();
+        let choice = choose_access_path(&est(10.0, 1e6), 1000, &c);
+        let outcome = evaluate_choice(&choice, 12, 1000, &c);
+        assert_eq!(outcome.regret, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Single-column predicates: the query shapes whose selectivity a
+//! histogram answers.
+
+/// A predicate over one integer column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predicate {
+    /// `col = v`
+    Eq(i64),
+    /// `col < v`
+    Lt(i64),
+    /// `col ≤ v`
+    Le(i64),
+    /// `col > v`
+    Gt(i64),
+    /// `col ≥ v`
+    Ge(i64),
+    /// `low ≤ col ≤ high`
+    Between {
+        /// Inclusive lower bound.
+        low: i64,
+        /// Inclusive upper bound.
+        high: i64,
+    },
+}
+
+impl Predicate {
+    /// Does `v` satisfy the predicate?
+    pub fn matches(&self, v: i64) -> bool {
+        match *self {
+            Predicate::Eq(c) => v == c,
+            Predicate::Lt(c) => v < c,
+            Predicate::Le(c) => v <= c,
+            Predicate::Gt(c) => v > c,
+            Predicate::Ge(c) => v >= c,
+            Predicate::Between { low, high } => low <= v && v <= high,
+        }
+    }
+
+    /// The predicate as an inclusive value interval `[lo, hi]`, or `None`
+    /// when the predicate is unsatisfiable (`col < i64::MIN`,
+    /// `col > i64::MAX`, or an inverted BETWEEN).
+    pub fn as_range(&self) -> Option<(i64, i64)> {
+        match *self {
+            Predicate::Eq(c) => Some((c, c)),
+            Predicate::Lt(c) => (c > i64::MIN).then(|| (i64::MIN, c - 1)),
+            Predicate::Le(c) => Some((i64::MIN, c)),
+            Predicate::Gt(c) => (c < i64::MAX).then(|| (c + 1, i64::MAX)),
+            Predicate::Ge(c) => Some((c, i64::MAX)),
+            Predicate::Between { low, high } => (low <= high).then_some((low, high)),
+        }
+    }
+
+    /// Exact result cardinality over **sorted** data (ground truth for
+    /// estimation-error experiments).
+    pub fn true_cardinality(&self, sorted: &[i64]) -> u64 {
+        match self.as_range() {
+            None => 0,
+            Some((lo, hi)) => samplehist_core::estimate::true_range_count(sorted, lo, hi),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Predicate::Eq(c) => write!(f, "col = {c}"),
+            Predicate::Lt(c) => write!(f, "col < {c}"),
+            Predicate::Le(c) => write!(f, "col <= {c}"),
+            Predicate::Gt(c) => write!(f, "col > {c}"),
+            Predicate::Ge(c) => write!(f, "col >= {c}"),
+            Predicate::Between { low, high } => write!(f, "col BETWEEN {low} AND {high}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_agrees_with_range() {
+        let preds = [
+            Predicate::Eq(5),
+            Predicate::Lt(5),
+            Predicate::Le(5),
+            Predicate::Gt(5),
+            Predicate::Ge(5),
+            Predicate::Between { low: 2, high: 8 },
+        ];
+        for p in preds {
+            let (lo, hi) = p.as_range().expect("satisfiable");
+            for v in -10..20i64 {
+                assert_eq!(p.matches(v), v >= lo && v <= hi, "{p} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn true_cardinality_on_sorted_data() {
+        let data = [1i64, 3, 3, 5, 7, 7, 7, 9];
+        assert_eq!(Predicate::Eq(7).true_cardinality(&data), 3);
+        assert_eq!(Predicate::Lt(5).true_cardinality(&data), 3);
+        assert_eq!(Predicate::Le(5).true_cardinality(&data), 4);
+        assert_eq!(Predicate::Gt(7).true_cardinality(&data), 1);
+        assert_eq!(Predicate::Ge(7).true_cardinality(&data), 4);
+        assert_eq!(Predicate::Between { low: 3, high: 7 }.true_cardinality(&data), 6);
+        assert_eq!(Predicate::Eq(4).true_cardinality(&data), 0);
+    }
+
+    #[test]
+    fn unsatisfiable_predicates_have_no_range() {
+        assert_eq!(Predicate::Lt(i64::MIN).as_range(), None);
+        assert_eq!(Predicate::Gt(i64::MAX).as_range(), None);
+        assert_eq!(Predicate::Between { low: 5, high: 4 }.as_range(), None);
+        let data = [i64::MIN, 0, i64::MAX];
+        assert_eq!(Predicate::Lt(i64::MIN).true_cardinality(&data), 0);
+        assert_eq!(Predicate::Gt(i64::MAX).true_cardinality(&data), 0);
+        // And the satisfiable extremes still work.
+        assert_eq!(Predicate::Le(i64::MAX).true_cardinality(&data), 3);
+        assert_eq!(Predicate::Ge(i64::MIN).true_cardinality(&data), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Predicate::Eq(3).to_string(), "col = 3");
+        assert_eq!(Predicate::Between { low: 1, high: 2 }.to_string(), "col BETWEEN 1 AND 2");
+    }
+}

@@ -1,0 +1,90 @@
+//! The statistics artifact `ANALYZE` produces, mirroring what the paper's
+//! prototype recorded (Section 7.1: step values, per-step row counts,
+//! distinct values in the sample, the density value).
+
+use samplehist_core::histogram::{CompressedHistogram, EquiHeightHistogram};
+use samplehist_storage::IoStats;
+
+/// Everything the optimizer knows about one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStatistics {
+    /// Owning table.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Row count of the relation when analyzed.
+    pub num_rows: u64,
+    /// The equi-height histogram (exact or sampled).
+    pub histogram: EquiHeightHistogram,
+    /// A compressed histogram over the same acquisition, when the ANALYZE
+    /// asked for one (Section 5's structure for duplicate-heavy columns):
+    /// heavy values exact, residue equi-height.
+    pub compressed: Option<CompressedHistogram>,
+    /// Duplication density in \[0,1\]: 0 = all distinct, 1 = all identical
+    /// (the paper's density convention, Section 7.1), estimated from the
+    /// same sample as the histogram.
+    pub density: f64,
+    /// Estimated number of distinct values (the paper's GEE estimator on
+    /// sampled modes; exact on a full scan).
+    pub distinct_estimate: f64,
+    /// Distinct values actually observed in the sample.
+    pub distinct_in_sample: u64,
+    /// Tuples the statistics were computed from.
+    pub sample_size: u64,
+    /// Human-readable description of how the statistics were built.
+    pub method: String,
+    /// I/O spent building them.
+    pub io: IoStats,
+}
+
+impl ColumnStatistics {
+    /// Sampling rate `sample_size / num_rows`.
+    pub fn sampling_rate(&self) -> f64 {
+        self.sample_size as f64 / self.num_rows as f64
+    }
+
+    /// Average rows per distinct value implied by the distinct estimate
+    /// (≥ 1): the quantity an optimizer divides by for `col = ?`
+    /// predicates with unknown constants.
+    pub fn rows_per_distinct(&self) -> f64 {
+        (self.num_rows as f64 / self.distinct_estimate.max(1.0)).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> ColumnStatistics {
+        let data: Vec<i64> = (0..100).collect();
+        ColumnStatistics {
+            table: "t".into(),
+            column: "c".into(),
+            num_rows: 1000,
+            histogram: EquiHeightHistogram::from_sorted_sample(&data, 10, 1000),
+            compressed: None,
+            density: 0.0,
+            distinct_estimate: 250.0,
+            distinct_in_sample: 100,
+            sample_size: 100,
+            method: "test".into(),
+            io: IoStats::default(),
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = dummy();
+        assert!((s.sampling_rate() - 0.1).abs() < 1e-12);
+        assert!((s.rows_per_distinct() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_per_distinct_floors_at_one() {
+        let mut s = dummy();
+        s.distinct_estimate = 1_000_000.0;
+        assert_eq!(s.rows_per_distinct(), 1.0);
+        s.distinct_estimate = 0.0;
+        assert_eq!(s.rows_per_distinct(), 1000.0);
+    }
+}

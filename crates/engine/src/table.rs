@@ -1,0 +1,177 @@
+//! Tables: named collections of equal-length columns stored in heap
+//! files.
+
+use rand::Rng;
+
+use samplehist_storage::{HeapFile, Layout, DEFAULT_PAGE_BYTES};
+
+/// One column: a name plus its paged storage.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    file: HeapFile,
+}
+
+impl Column {
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The backing heap file.
+    pub fn file(&self) -> &HeapFile {
+        &self.file
+    }
+}
+
+/// A relation with at least one column; all columns have the same row
+/// count (each column is stored in its own file, one attribute per
+/// record, the way a statistics subsystem sees the world).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    num_rows: u64,
+}
+
+impl Table {
+    /// Start building a table.
+    pub fn builder(name: impl Into<String>) -> TableBuilder {
+        TableBuilder { name: name.into(), columns: Vec::new(), num_rows: None }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> u64 {
+        self.num_rows
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// Builder for [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+    num_rows: Option<u64>,
+}
+
+impl TableBuilder {
+    /// Add a column from raw values with an explicit blocking factor.
+    ///
+    /// # Panics
+    /// If the row count disagrees with previously added columns, the
+    /// column name repeats, or `values` is empty.
+    pub fn column_with_blocking(
+        mut self,
+        name: impl Into<String>,
+        values: Vec<i64>,
+        tuples_per_page: usize,
+        layout: Layout,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let name = name.into();
+        assert!(
+            self.columns.iter().all(|c| c.name != name),
+            "duplicate column name {name:?}"
+        );
+        let rows = values.len() as u64;
+        match self.num_rows {
+            None => self.num_rows = Some(rows),
+            Some(existing) => assert_eq!(
+                existing, rows,
+                "column {name:?} has {rows} rows, table has {existing}"
+            ),
+        }
+        let file = HeapFile::with_layout(values, tuples_per_page, layout, rng);
+        self.columns.push(Column { name, file });
+        self
+    }
+
+    /// Add a column with physical sizing: 8 KB pages of
+    /// `record_bytes`-sized records (the paper's geometry).
+    pub fn column(
+        self,
+        name: impl Into<String>,
+        values: Vec<i64>,
+        record_bytes: usize,
+        layout: Layout,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let b = DEFAULT_PAGE_BYTES / record_bytes;
+        self.column_with_blocking(name, values, b, layout, rng)
+    }
+
+    /// Finish.
+    ///
+    /// # Panics
+    /// If no columns were added.
+    pub fn build(self) -> Table {
+        assert!(!self.columns.is_empty(), "a table needs at least one column");
+        Table {
+            name: self.name,
+            num_rows: self.num_rows.expect("columns imply a row count"),
+            columns: self.columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Table::builder("orders")
+            .column("order_id", (0..1000).collect(), 64, Layout::Random, &mut rng)
+            .column("amount", (0..1000).map(|i| i % 50).collect(), 64, Layout::Random, &mut rng)
+            .build();
+        assert_eq!(t.name(), "orders");
+        assert_eq!(t.num_rows(), 1000);
+        assert_eq!(t.columns().len(), 2);
+        assert!(t.column("amount").is_some());
+        assert!(t.column("missing").is_none());
+        assert_eq!(t.column("order_id").expect("exists").file().num_tuples(), 1000);
+        assert_eq!(t.column("order_id").expect("exists").file().blocking_factor(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "has 5 rows, table has 3")]
+    fn mismatched_row_counts_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = Table::builder("t")
+            .column_with_blocking("a", vec![1, 2, 3], 10, Layout::Random, &mut rng)
+            .column_with_blocking("b", vec![1, 2, 3, 4, 5], 10, Layout::Random, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = Table::builder("t")
+            .column_with_blocking("a", vec![1, 2, 3], 10, Layout::Random, &mut rng)
+            .column_with_blocking("a", vec![4, 5, 6], 10, Layout::Random, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_table_rejected() {
+        let _ = Table::builder("t").build();
+    }
+}

@@ -1,0 +1,138 @@
+//! Engine integration tests against generated workloads (the `datagen`
+//! crate is a dev-dependency precisely for these).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist_data::{DataSpec, DataSummary};
+use samplehist_engine::{
+    analyze, estimate_cardinality, estimate_equijoin, AnalyzeMode, AnalyzeOptions, Predicate,
+    Table,
+};
+use samplehist_storage::Layout;
+
+fn table_from(spec: DataSpec, n: u64, seed: u64) -> (Table, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values = spec.generate(n, &mut rng).values;
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let t = Table::builder("t")
+        .column_with_blocking("c", values, 100, Layout::Random, &mut rng)
+        .build();
+    (t, sorted)
+}
+
+/// Full-scan statistics are exact in every component, whatever the
+/// distribution.
+#[test]
+fn full_scan_statistics_are_exact_across_distributions() {
+    let n = 60_000u64;
+    for (i, spec) in [
+        DataSpec::Zipf { z: 2.0, domain: 10_000 },
+        DataSpec::UnifDup { copies: 100 },
+        DataSpec::UniformDistinct,
+        DataSpec::SelfSimilar { domain: 20_000, h: 0.2 },
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (t, sorted) = table_from(*spec, n, 100 + i as u64);
+        let mut rng = StdRng::seed_from_u64(200 + i as u64);
+        let stats =
+            analyze(&t, "c", &AnalyzeOptions::full_scan(64), &mut rng).expect("column exists");
+        let truth = DataSummary::of_sorted(&sorted);
+        assert_eq!(stats.sample_size, n, "{}", spec.label());
+        assert_eq!(stats.distinct_estimate, truth.distinct as f64, "{}", spec.label());
+        assert!((stats.density - truth.density).abs() < 1e-12, "{}", spec.label());
+        assert_eq!(stats.histogram.min_value(), truth.min);
+        assert_eq!(stats.histogram.max_value(), truth.max);
+    }
+}
+
+/// All four ANALYZE modes agree on range selectivity within sampling
+/// tolerance on a Zipf column.
+#[test]
+fn analyze_modes_agree_on_selectivity() {
+    let n = 100_000u64;
+    let (t, sorted) = table_from(DataSpec::Zipf { z: 1.0, domain: 20_000 }, n, 300);
+    let mut rng = StdRng::seed_from_u64(301);
+    let preds =
+        [Predicate::Le(50), Predicate::Between { low: 100, high: 2_000 }, Predicate::Ge(10_000)];
+    for opts in [
+        AnalyzeOptions::full_scan(64),
+        AnalyzeOptions { buckets: 64, mode: AnalyzeMode::RowSample { rate: 0.05 }, compressed: false },
+        AnalyzeOptions { buckets: 64, mode: AnalyzeMode::BlockSample { rate: 0.05 }, compressed: false },
+        AnalyzeOptions { buckets: 64, mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 }, compressed: false },
+    ] {
+        let stats = analyze(&t, "c", &opts, &mut rng).expect("column exists");
+        for p in &preds {
+            let est = estimate_cardinality(&stats, p).rows;
+            let truth = p.true_cardinality(&sorted) as f64;
+            assert!(
+                (est - truth).abs() <= 0.06 * n as f64,
+                "{:?} / {p}: est {est} vs {truth}",
+                opts.mode
+            );
+        }
+    }
+}
+
+/// Self-join estimate via histograms matches the exact self-join size on
+/// uniform-duplication data for sampled statistics too.
+#[test]
+fn sampled_equijoin_close_to_truth() {
+    let n = 80_000u64;
+    let (t, sorted) = table_from(DataSpec::UnifDup { copies: 40 }, n, 400);
+    let mut rng = StdRng::seed_from_u64(401);
+    let opts = AnalyzeOptions { buckets: 50, mode: AnalyzeMode::BlockSample { rate: 0.2 }, compressed: false };
+    let stats = analyze(&t, "c", &opts, &mut rng).expect("column exists");
+    let est = estimate_equijoin(&stats, &stats);
+    // Exact self-join: d · copies² = (n/40)·1600 = 40·n.
+    let truth = 40.0 * n as f64;
+    assert!(
+        (est - truth).abs() / truth < 0.35,
+        "self-join est {est} vs truth {truth}"
+    );
+    drop(sorted);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary predicates, estimates from exact statistics are
+    /// within the Theorem-1-style envelope of 2·(n/k) + interpolation
+    /// slack of the truth on duplicate-free data.
+    #[test]
+    fn exact_stats_bounded_error_on_distinct_data(
+        a in -1000i64..60_000,
+        b in -1000i64..60_000,
+    ) {
+        let n = 50_000u64;
+        let k = 50usize;
+        let (t, sorted) = table_from(DataSpec::UniformDistinct, n, 500);
+        let mut rng = StdRng::seed_from_u64(501);
+        let stats = analyze(&t, "c", &AnalyzeOptions::full_scan(k), &mut rng)
+            .expect("column exists");
+        let pred = Predicate::Between { low: a.min(b), high: a.max(b) };
+        let est = estimate_cardinality(&stats, &pred).rows;
+        let truth = pred.true_cardinality(&sorted) as f64;
+        let envelope = 2.0 * n as f64 / k as f64 + 2.0;
+        prop_assert!((est - truth).abs() <= envelope,
+            "{}: est {} vs {} (envelope {})", pred, est, truth, envelope);
+    }
+
+    /// Equality estimates are never negative and never exceed the table.
+    #[test]
+    fn eq_estimates_feasible(v in -10_000i64..10_000) {
+        let n = 20_000u64;
+        let (t, _sorted) = table_from(DataSpec::Zipf { z: 1.5, domain: 5_000 }, n, 600);
+        let mut rng = StdRng::seed_from_u64(601);
+        let stats = analyze(&t, "c", &AnalyzeOptions::full_scan(32), &mut rng)
+            .expect("column exists");
+        let est = estimate_cardinality(&stats, &Predicate::Eq(v));
+        prop_assert!(est.rows >= 0.0);
+        prop_assert!(est.rows <= n as f64);
+        prop_assert!((0.0..=1.0).contains(&est.selectivity));
+    }
+}

@@ -1,0 +1,204 @@
+//! The heap file: one column's values packed into fixed-capacity pages.
+
+use rand::Rng;
+
+use samplehist_core::BlockSource;
+
+use crate::layout::Layout;
+use crate::page::{tuples_per_page, PageId, DEFAULT_PAGE_BYTES};
+
+/// One column of a relation stored as a sequence of pages.
+///
+/// Values are stored contiguously in page-major order; a page is a slice
+/// `values[p·b .. (p+1)·b]` with blocking factor `b` tuples per page (the
+/// last page may be short). Construction applies a [`Layout`] first, so
+/// the correlation structure of pages is an explicit experimental knob.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    values: Vec<i64>,
+    tuples_per_page: usize,
+}
+
+impl HeapFile {
+    /// Store `values` as-is (caller controls ordering) with
+    /// `tuples_per_page` records per page.
+    ///
+    /// # Panics
+    /// If `values` is empty or `tuples_per_page` is zero.
+    pub fn new(values: Vec<i64>, tuples_per_page: usize) -> Self {
+        assert!(!values.is_empty(), "a heap file needs at least one tuple");
+        assert!(tuples_per_page > 0, "pages must hold at least one tuple");
+        Self { values, tuples_per_page }
+    }
+
+    /// Apply `layout` to `values`, then store them.
+    pub fn with_layout(
+        values: Vec<i64>,
+        tuples_per_page: usize,
+        layout: Layout,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::new(layout.arrange(values, rng), tuples_per_page)
+    }
+
+    /// Geometry helper: build from physical sizes — `page_bytes` pages
+    /// holding `record_bytes` records, as in the paper's record-size
+    /// sweep (Figure 8).
+    pub fn with_record_size(
+        values: Vec<i64>,
+        page_bytes: usize,
+        record_bytes: usize,
+        layout: Layout,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::with_layout(values, tuples_per_page(page_bytes, record_bytes), layout, rng)
+    }
+
+    /// Default 8 KB pages.
+    pub fn with_default_pages(
+        values: Vec<i64>,
+        record_bytes: usize,
+        layout: Layout,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::with_record_size(values, DEFAULT_PAGE_BYTES, record_bytes, layout, rng)
+    }
+
+    /// Blocking factor `b` (tuples per full page).
+    pub fn blocking_factor(&self) -> usize {
+        self.tuples_per_page
+    }
+
+    /// Number of tuples.
+    pub fn num_tuples(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.values.len().div_ceil(self.tuples_per_page)
+    }
+
+    /// The tuples on `page`.
+    ///
+    /// # Panics
+    /// If the page is out of range.
+    pub fn page(&self, page: PageId) -> &[i64] {
+        let start = page.index() * self.tuples_per_page;
+        assert!(start < self.values.len(), "{page} out of range");
+        let end = (start + self.tuples_per_page).min(self.values.len());
+        &self.values[start..end]
+    }
+
+    /// The value of the tuple at global index `idx` — also tells you
+    /// which page serving that tuple would fault in.
+    pub fn tuple(&self, idx: u64) -> (i64, PageId) {
+        let idx = idx as usize;
+        assert!(idx < self.values.len(), "tuple {idx} out of range");
+        (self.values[idx], PageId((idx / self.tuples_per_page) as u32))
+    }
+
+    /// Full scan: every value, in storage order (borrow).
+    pub fn scan(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// A sorted copy of the whole column — the "full scan + sort" that
+    /// perfect histogram construction performs.
+    pub fn sorted_values(&self) -> Vec<i64> {
+        let mut v = self.values.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl BlockSource for HeapFile {
+    fn num_blocks(&self) -> usize {
+        self.num_pages()
+    }
+
+    fn num_tuples(&self) -> u64 {
+        HeapFile::num_tuples(self)
+    }
+
+    fn block(&self, index: usize) -> &[i64] {
+        self.page(PageId(index as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometry() {
+        let f = HeapFile::new((0..105).collect(), 10);
+        assert_eq!(f.num_tuples(), 105);
+        assert_eq!(f.num_pages(), 11);
+        assert_eq!(f.blocking_factor(), 10);
+        assert_eq!(f.page(PageId(0)), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(f.page(PageId(10)), &[100, 101, 102, 103, 104], "short last page");
+    }
+
+    #[test]
+    fn tuple_addressing() {
+        let f = HeapFile::new((0..100).collect(), 25);
+        assert_eq!(f.tuple(0), (0, PageId(0)));
+        assert_eq!(f.tuple(24), (24, PageId(0)));
+        assert_eq!(f.tuple(25), (25, PageId(1)));
+        assert_eq!(f.tuple(99), (99, PageId(3)));
+    }
+
+    #[test]
+    fn block_source_impl_matches_pages() {
+        let f = HeapFile::new((0..55).collect(), 10);
+        assert_eq!(BlockSource::num_blocks(&f), 6);
+        assert_eq!(BlockSource::num_tuples(&f), 55);
+        assert_eq!(BlockSource::block(&f, 5), &[50, 51, 52, 53, 54]);
+        assert!((f.avg_tuples_per_block() - 55.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_is_applied_at_construction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = HeapFile::with_layout((0..1000).rev().collect(), 10, Layout::Clustered, &mut rng);
+        assert_eq!(f.page(PageId(0)), (0..10).collect::<Vec<_>>().as_slice());
+        let sorted = f.sorted_values();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn record_size_drives_blocking_factor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = HeapFile::with_default_pages((0..100_000).collect(), 64, Layout::Random, &mut rng);
+        assert_eq!(f.blocking_factor(), 128);
+        assert_eq!(f.num_pages(), 100_000usize.div_ceil(128));
+    }
+
+    #[test]
+    fn cvb_runs_against_heap_file() {
+        // End-to-end: the core adaptive algorithm accepts a HeapFile.
+        use samplehist_core::sampling::{cvb, CvbConfig};
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = HeapFile::with_layout((0..50_000).collect(), 100, Layout::Random, &mut rng);
+        let cfg = CvbConfig::theoretical(&f, 20, 0.3, 0.05);
+        let result = cvb::run(&f, &cfg, &mut rng);
+        assert!(result.tuples_sampled > 0);
+        assert_eq!(result.histogram.total(), 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn empty_file_rejected() {
+        let _ = HeapFile::new(vec![], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_out_of_range() {
+        let f = HeapFile::new(vec![1, 2, 3], 2);
+        let _ = f.page(PageId(2));
+    }
+}

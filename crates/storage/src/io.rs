@@ -1,0 +1,86 @@
+//! I/O accounting.
+
+/// A meter of storage traffic. Experiments report `pages_read` — the
+/// paper's "number of disk blocks sampled" (Figure 4) — and
+/// `tuples_read`, whose ratio to the relation size is the "sampling rate"
+/// on the x-axis of most of the Section 7 figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched (each fetch of a page counts, even a repeat).
+    pub pages_read: u64,
+    /// Tuples materialized out of those pages.
+    pub tuples_read: u64,
+}
+
+impl IoStats {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one page of `tuples` tuples.
+    pub fn charge_page(&mut self, tuples: usize) {
+        self.pages_read += 1;
+        self.tuples_read += tuples as u64;
+    }
+
+    /// Fold another meter into this one.
+    pub fn merge(&mut self, other: IoStats) {
+        self.pages_read += other.pages_read;
+        self.tuples_read += other.tuples_read;
+    }
+
+    /// Tuples per page actually observed, or 0 when nothing was read.
+    pub fn tuples_per_page(&self) -> f64 {
+        if self.pages_read == 0 {
+            0.0
+        } else {
+            self.tuples_read as f64 / self.pages_read as f64
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            pages_read: self.pages_read + rhs.pages_read,
+            tuples_read: self.tuples_read + rhs.tuples_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_merge() {
+        let mut a = IoStats::new();
+        a.charge_page(100);
+        a.charge_page(100);
+        assert_eq!(a.pages_read, 2);
+        assert_eq!(a.tuples_read, 200);
+
+        let mut b = IoStats::new();
+        b.charge_page(50);
+        a.merge(b);
+        assert_eq!(a.pages_read, 3);
+        assert_eq!(a.tuples_read, 250);
+        assert!((a.tuples_per_page() - 250.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_operator() {
+        let a = IoStats { pages_read: 1, tuples_read: 10 };
+        let b = IoStats { pages_read: 2, tuples_read: 20 };
+        let c = a + b;
+        assert_eq!(c, IoStats { pages_read: 3, tuples_read: 30 });
+    }
+
+    #[test]
+    fn empty_meter_ratio_is_zero() {
+        assert_eq!(IoStats::new().tuples_per_page(), 0.0);
+    }
+}

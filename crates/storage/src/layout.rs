@@ -1,0 +1,220 @@
+//! Physical data placement policies (paper Section 7.1, "Data
+//! Generation": "we experimented with two different layouts").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How a column's values are ordered before being packed into pages.
+///
+/// The layout is what creates (or destroys) intra-block correlation, the
+/// variable the paper's Section 4 algorithm adapts to:
+///
+/// * `Random` — scenario (a): tuples placed by random tuple-id; tuples on
+///   a page are uncorrelated and block sampling ≈ record sampling.
+/// * `Clustered` — scenario (b): the relation is value-sorted (think
+///   clustered index on the analyzed column); a page holds one narrow
+///   value range and the effective sampling rate collapses to one
+///   independent tuple per page.
+/// * `PartiallyClustered` — scenario (c) / the paper's experimental
+///   middle ground: for every distinct value, a fraction of its
+///   duplicates are stored contiguously (the paper used 20%) and the rest
+///   are scattered at random.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Layout {
+    /// Uniformly random tuple order.
+    Random,
+    /// Fully value-sorted.
+    Clustered,
+    /// `clustered_fraction` of each value's duplicates stored
+    /// contiguously, the rest scattered.
+    PartiallyClustered {
+        /// Fraction in `[0, 1]`; the paper's experiments use 0.2.
+        clustered_fraction: f64,
+    },
+}
+
+impl Layout {
+    /// The paper's partially-clustered configuration (20%).
+    pub fn paper_partial() -> Self {
+        Layout::PartiallyClustered { clustered_fraction: 0.2 }
+    }
+
+    /// Arrange `values` according to the layout. Consumes and returns the
+    /// vector; the result is a permutation of the input.
+    ///
+    /// # Panics
+    /// If a partial-clustering fraction lies outside `[0, 1]`.
+    pub fn arrange(self, mut values: Vec<i64>, rng: &mut impl Rng) -> Vec<i64> {
+        match self {
+            Layout::Random => {
+                values.shuffle(rng);
+                values
+            }
+            Layout::Clustered => {
+                values.sort_unstable();
+                values
+            }
+            Layout::PartiallyClustered { clustered_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&clustered_fraction),
+                    "clustered fraction must be in [0,1], got {clustered_fraction}"
+                );
+                arrange_partially_clustered(values, clustered_fraction, rng)
+            }
+        }
+    }
+}
+
+/// Mirror of the paper's construction: "for every distinct value,
+/// generate `0.8·n_t` tuples with randomly generated tuple-ids but assign
+/// the same tuple-id to `0.2·n_t` of the tuples", then cluster on
+/// tuple-id — so 20% of each value's duplicates land sequentially and the
+/// rest are scattered.
+///
+/// Implementation: sort; split each run of equal values into one
+/// contiguous *clump* of `⌈fraction·len⌉` copies plus individual
+/// *singles*; shuffle the placement units (clumps stay intact); flatten.
+fn arrange_partially_clustered(
+    mut values: Vec<i64>,
+    fraction: f64,
+    rng: &mut impl Rng,
+) -> Vec<i64> {
+    values.sort_unstable();
+
+    // A unit is (value, copies): copies > 1 for a clump, 1 for a single.
+    let mut units: Vec<(i64, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < values.len() {
+        let v = values[i];
+        let start = i;
+        while i < values.len() && values[i] == v {
+            i += 1;
+        }
+        let run = i - start;
+        let clump = ((run as f64 * fraction).ceil() as usize).min(run);
+        if clump > 1 {
+            units.push((v, clump as u32));
+        } else if clump == 1 {
+            units.push((v, 1));
+        }
+        for _ in clump..run {
+            units.push((v, 1));
+        }
+    }
+    units.shuffle(rng);
+
+    let mut out = Vec::with_capacity(values.len());
+    for (v, copies) in units {
+        for _ in 0..copies {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_permutation(a: &[i64], b: &[i64]) -> bool {
+        let mut a = a.to_vec();
+        let mut b = b.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    #[test]
+    fn all_layouts_are_permutations() {
+        let data: Vec<i64> = (0..100).flat_map(|v| vec![v; 10]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for layout in [
+            Layout::Random,
+            Layout::Clustered,
+            Layout::paper_partial(),
+            Layout::PartiallyClustered { clustered_fraction: 0.0 },
+            Layout::PartiallyClustered { clustered_fraction: 1.0 },
+        ] {
+            let arranged = layout.arrange(data.clone(), &mut rng);
+            assert!(is_permutation(&data, &arranged), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn clustered_is_sorted() {
+        let data = vec![5i64, 3, 9, 1, 3];
+        let mut rng = StdRng::seed_from_u64(2);
+        let arranged = Layout::Clustered.arrange(data, &mut rng);
+        assert_eq!(arranged, vec![1, 3, 3, 5, 9]);
+    }
+
+    #[test]
+    fn random_is_not_sorted_with_high_probability() {
+        let data: Vec<i64> = (0..10_000).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arranged = Layout::Random.arrange(data, &mut rng);
+        assert!(arranged.windows(2).any(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn partial_clustering_keeps_clumps_contiguous() {
+        // One value with 100 copies at fraction 0.2: a 20-copy clump must
+        // appear contiguously somewhere.
+        let mut data = vec![7i64; 100];
+        data.extend(1000..2000); // 1000 singletons as background
+        let mut rng = StdRng::seed_from_u64(4);
+        let arranged = Layout::paper_partial().arrange(data, &mut rng);
+        // Find the longest run of 7s.
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for &v in &arranged {
+            if v == 7 {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        assert!(longest >= 20, "longest run of the clumped value = {longest}");
+    }
+
+    #[test]
+    fn fraction_one_fully_clusters_each_value() {
+        // Every value's copies contiguous (but value order random).
+        let data: Vec<i64> = (0..50).flat_map(|v| vec![v; 4]).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let arranged =
+            Layout::PartiallyClustered { clustered_fraction: 1.0 }.arrange(data, &mut rng);
+        // Each value appears in exactly one run.
+        let mut seen: std::collections::HashSet<i64> = std::collections::HashSet::new();
+        let mut i = 0usize;
+        while i < arranged.len() {
+            let v = arranged[i];
+            assert!(seen.insert(v), "value {v} appears in two separate runs");
+            while i < arranged.len() && arranged[i] == v {
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_zero_behaves_like_random() {
+        // No clumps: every unit is a single tuple. Statistically random —
+        // just verify it is a permutation and unsorted.
+        let data: Vec<i64> = (0..5_000).flat_map(|v| [v, v]).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let arranged =
+            Layout::PartiallyClustered { clustered_fraction: 0.0 }.arrange(data.clone(), &mut rng);
+        assert!(is_permutation(&data, &arranged));
+        assert!(arranged.windows(2).any(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "clustered fraction")]
+    fn bad_fraction_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = Layout::PartiallyClustered { clustered_fraction: 1.5 }.arrange(vec![1], &mut rng);
+    }
+}

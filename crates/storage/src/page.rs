@@ -1,0 +1,73 @@
+//! Page identity and geometry.
+
+/// Size of a disk page in bytes. SQL Server 7.0 — the paper's platform —
+/// introduced 8 KB pages, up from 2 KB in earlier releases.
+pub const DEFAULT_PAGE_BYTES: usize = 8192;
+
+/// A page number within one heap file.
+///
+/// A newtype rather than a bare `usize` so page numbers cannot be mixed up
+/// with tuple indices or block *counts* in sampler plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page number as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// The blocking factor `b`: how many records of `record_bytes` fit on a
+/// page of `page_bytes`. This is the quantity the paper's Figure 8 sweep
+/// varies (16–128-byte records on 8 KB pages give b = 512 down to 64).
+///
+/// # Panics
+/// If the record does not fit on a page, or either size is zero.
+pub fn tuples_per_page(page_bytes: usize, record_bytes: usize) -> usize {
+    assert!(page_bytes > 0 && record_bytes > 0, "sizes must be positive");
+    assert!(
+        record_bytes <= page_bytes,
+        "a {record_bytes}-byte record cannot fit on a {page_bytes}-byte page"
+    );
+    page_bytes / record_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_blocking_factors() {
+        // The Section 7.1 record-size sweep on 8 KB pages.
+        assert_eq!(tuples_per_page(DEFAULT_PAGE_BYTES, 16), 512);
+        assert_eq!(tuples_per_page(DEFAULT_PAGE_BYTES, 32), 256);
+        assert_eq!(tuples_per_page(DEFAULT_PAGE_BYTES, 64), 128);
+        assert_eq!(tuples_per_page(DEFAULT_PAGE_BYTES, 128), 64);
+    }
+
+    #[test]
+    fn partial_records_round_down() {
+        assert_eq!(tuples_per_page(100, 30), 3);
+        assert_eq!(tuples_per_page(100, 100), 1);
+    }
+
+    #[test]
+    fn page_id_display_and_index() {
+        let p = PageId(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.to_string(), "page#42");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_record_rejected() {
+        let _ = tuples_per_page(100, 200);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the storage substrate: layouts are permutations,
+//! pages partition the file, samplers meter exactly what they touch.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist_storage::{BlockSampler, HeapFile, Layout, PageId, RecordSampler};
+
+fn values() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1000i64..1000, 1..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every layout yields a permutation of the input.
+    #[test]
+    fn layouts_are_permutations(
+        vals in values(),
+        frac_pct in 0u32..=100,
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for layout in [
+            Layout::Random,
+            Layout::Clustered,
+            Layout::PartiallyClustered { clustered_fraction: frac_pct as f64 / 100.0 },
+        ] {
+            let arranged = layout.arrange(vals.clone(), &mut rng);
+            let mut a = arranged.clone();
+            let mut b = vals.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "{:?}", layout);
+        }
+    }
+
+    /// Pages partition the file: concatenating all pages reproduces the
+    /// stored order, and page sizes are b except possibly the last.
+    #[test]
+    fn pages_partition_the_file(vals in values(), b in 1usize..64) {
+        let file = HeapFile::new(vals.clone(), b);
+        let mut concat = Vec::new();
+        for p in 0..file.num_pages() {
+            let page = file.page(PageId(p as u32));
+            if p + 1 < file.num_pages() {
+                prop_assert_eq!(page.len(), b);
+            } else {
+                prop_assert!(page.len() <= b && !page.is_empty());
+            }
+            concat.extend_from_slice(page);
+        }
+        prop_assert_eq!(concat, vals);
+    }
+
+    /// Tuple addressing agrees with page layout.
+    #[test]
+    fn tuple_addressing_consistent(vals in values(), b in 1usize..64) {
+        let file = HeapFile::new(vals.clone(), b);
+        for idx in [0u64, (vals.len() / 2) as u64, vals.len() as u64 - 1] {
+            let (v, page) = file.tuple(idx);
+            prop_assert_eq!(v, vals[idx as usize]);
+            let on_page = file.page(page);
+            prop_assert!(on_page.contains(&v));
+            prop_assert_eq!(page.index(), idx as usize / b);
+        }
+    }
+
+    /// Block sampling meters exactly the tuples it returns, and never
+    /// returns a tuple from an unvisited page.
+    #[test]
+    fn block_sampler_meter_is_exact(vals in values(), b in 1usize..32, seed in 0u64..50) {
+        let file = HeapFile::new(vals, b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = (file.num_pages() / 2).max(1);
+        let mut sampler = BlockSampler::new();
+        let tuples = sampler.sample(&file, g, &mut rng);
+        prop_assert_eq!(sampler.io().pages_read, g as u64);
+        prop_assert_eq!(sampler.io().tuples_read, tuples.len() as u64);
+    }
+
+    /// Record sampling returns existing values and bills a page each.
+    #[test]
+    fn record_sampler_meter_is_exact(vals in values(), b in 1usize..32, r in 1usize..100, seed in 0u64..50) {
+        let file = HeapFile::new(vals.clone(), b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = RecordSampler::new();
+        let tuples = sampler.sample(&file, r, &mut rng);
+        prop_assert_eq!(tuples.len(), r);
+        prop_assert_eq!(sampler.io().pages_read, r as u64);
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        prop_assert!(tuples.iter().all(|v| sorted.binary_search(v).is_ok()));
+    }
+
+    /// Bernoulli page sampling returns whole pages only.
+    #[test]
+    fn bernoulli_returns_whole_pages(vals in values(), b in 1usize..32, seed in 0u64..50) {
+        let file = HeapFile::new(vals, b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = BlockSampler::new();
+        let tuples = sampler.sample_bernoulli(&file, 0.5, &mut rng);
+        prop_assert_eq!(tuples.len() as u64, sampler.io().tuples_read);
+        // Pages are whole: tuple count is a sum of page sizes, i.e. at
+        // most pages_read * b and at least pages_read (pages non-empty).
+        prop_assert!(tuples.len() as u64 <= sampler.io().pages_read * b as u64);
+        prop_assert!(tuples.len() as u64 >= sampler.io().pages_read);
+    }
+}

@@ -1,0 +1,86 @@
+//! The CVB algorithm in action: watch cross-validation adapt the amount
+//! of sampling to the physical clustering of the data.
+//!
+//! The same Zipf column is stored three ways — random tuple order,
+//! partially clustered (20% of each value's duplicates co-located, the
+//! paper's Section 7.1 construction), and fully value-sorted. CVB is run
+//! on each with identical settings; the per-round trace shows the
+//! cross-validation error driving the stopping decision.
+//!
+//! ```text
+//! cargo run --release --example adaptive_block_sampling
+//! ```
+
+use rand::SeedableRng;
+
+use samplehist::core::error::fractional_max_error;
+use samplehist::core::sampling::{cvb, CvbConfig, Schedule, ValidationMode};
+use samplehist::core::BlockSource;
+use samplehist::data::DataSpec;
+use samplehist::storage::{HeapFile, Layout};
+
+fn main() {
+    let n: u64 = 1_000_000;
+    let buckets = 200;
+    let target_f = 0.15;
+    let spec = DataSpec::Zipf { z: 2.0, domain: 100_000 };
+
+    for (name, layout) in [
+        ("random", Layout::Random),
+        ("partially clustered (20%)", Layout::paper_partial()),
+        ("fully clustered (sorted)", Layout::Clustered),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let dataset = spec.generate(n, &mut rng);
+        let file = HeapFile::with_layout(dataset.values, 128, layout, &mut rng);
+        let full_sorted = file.sorted_values();
+
+        let config = CvbConfig {
+            buckets,
+            target_f,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: (file.num_blocks() / 200).max(2) },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let result = cvb::run(&file, &config, &mut rng);
+
+        println!("=== layout: {name} ===");
+        println!("{:>5} {:>10} {:>12} {:>12} {:>16}", "round", "new blk", "total blk", "tuples", "cross-val error");
+        for r in &result.rounds {
+            println!(
+                "{:>5} {:>10} {:>12} {:>12} {:>16}",
+                r.round,
+                r.new_blocks,
+                r.total_blocks,
+                r.total_tuples,
+                r.cross_validation_error
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "-".into())
+            );
+        }
+        let true_err = fractional_max_error(
+            result.histogram.separators(),
+            &result.sample_sorted,
+            &full_sorted,
+        )
+        .max;
+        println!(
+            "-> {} after {} blocks ({:.1}% of tuples); true error of final histogram: {:.3}\n",
+            if result.converged {
+                "converged"
+            } else if result.exhausted {
+                "full scan"
+            } else {
+                "capped"
+            },
+            result.blocks_sampled,
+            result.sampling_rate(file.num_tuples()) * 100.0,
+            true_err
+        );
+    }
+    println!(
+        "The stopping rule (Theorem 7) certifies ≤ 2x the target error; note how the \
+         clustered layouts force more rounds before validation passes."
+    );
+}

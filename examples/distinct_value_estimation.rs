@@ -1,0 +1,97 @@
+//! Distinct-value estimation: the shoot-out, and the wall.
+//!
+//! Part 1 runs every estimator in the crate on two very different
+//! columns (Zipf Z=2 and Unif/Dup) at a 1% sample, reporting both the
+//! classical ratio error and the paper's rel-error.
+//!
+//! Part 2 demonstrates Theorem 8's impossibility result: a calibrated
+//! pair of relations whose samples are usually identical, forcing *any*
+//! estimator into large ratio error — while rel-error stays benign,
+//! which is exactly why the paper proposes it.
+//!
+//! ```text
+//! cargo run --release --example distinct_value_estimation
+//! ```
+
+use rand::SeedableRng;
+
+use samplehist::core::distinct::adversarial::{theorem8_error_floor, HardPair};
+use samplehist::core::distinct::error::{abs_rel_error, ratio_error};
+use samplehist::core::distinct::{all_estimators, FrequencyProfile};
+use samplehist::core::sampling;
+use samplehist::data::{distinct_count, DataSpec};
+
+fn main() {
+    let n: u64 = 1_000_000;
+    let r = (n / 100) as usize; // 1% sample
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+
+    println!("=== Part 1: estimator shoot-out (n = {n}, r = {r}) ===\n");
+    for spec in [
+        DataSpec::Zipf { z: 2.0, domain: 100_000 },
+        DataSpec::UnifDup { copies: 100 },
+    ] {
+        let dataset = spec.generate(n, &mut rng);
+        let mut sorted = dataset.values.clone();
+        sorted.sort_unstable();
+        let d = distinct_count(&sorted);
+
+        let mut sample = sampling::with_replacement(&dataset.values, r, &mut rng);
+        sample.sort_unstable();
+        let profile = FrequencyProfile::from_sorted_sample(&sample);
+
+        println!("--- {} (true d = {d}) ---", dataset.label);
+        println!("{:<16} {:>12} {:>12} {:>12}", "estimator", "estimate", "ratio err", "|rel err|");
+        for est in all_estimators() {
+            let e = est.estimate(&profile, n);
+            if e.is_finite() {
+                println!(
+                    "{:<16} {:>12.0} {:>12.2} {:>12.4}",
+                    est.name(),
+                    e,
+                    ratio_error(e, d),
+                    abs_rel_error(e, d, n)
+                );
+            } else {
+                println!("{:<16} {:>12} {:>12} {:>12}", est.name(), "unstable", "-", "-");
+            }
+        }
+        println!();
+    }
+
+    println!("=== Part 2: the Theorem 8 wall ===\n");
+    let gamma = 0.25;
+    let pair = HardPair::new(n, r as u64, gamma);
+    let floor = theorem8_error_floor(n, r as u64, gamma);
+    println!(
+        "hard pair: LOW has d = {}, HIGH has d = {}; a {r}-tuple sample of HIGH is \
+         all-zero (indistinguishable from LOW) with probability {:.2}",
+        pair.d_low(),
+        pair.d_high(),
+        pair.miss_probability()
+    );
+    println!("analytic floor: any estimator errs ≥ {floor:.1}x on one of the pair\n");
+
+    let profile = FrequencyProfile::from_pairs(vec![(r as u64, 1)]);
+    println!(
+        "{:<16} {:>12} {:>14} {:>14} {:>12}",
+        "estimator", "answer", "ratio vs LOW", "ratio vs HIGH", "|rel| worst"
+    );
+    for est in all_estimators() {
+        let a = est.estimate(&profile, n);
+        let (lo, hi) = (ratio_error(a, pair.d_low()), ratio_error(a, pair.d_high()));
+        let rel = abs_rel_error(a, pair.d_low(), n).max(abs_rel_error(a, pair.d_high(), n));
+        println!(
+            "{:<16} {:>12} {:>14.1} {:>14.1} {:>12.5}",
+            est.name(),
+            if a.is_finite() { format!("{a:.0}") } else { "unstable".into() },
+            lo,
+            hi,
+            rel
+        );
+    }
+    println!(
+        "\nEvery ratio column has a big number somewhere (Theorem 8), but the rel-error \
+         column stays tiny — the metric an optimizer can actually rely on."
+    );
+}

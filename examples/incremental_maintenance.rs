@@ -1,0 +1,65 @@
+//! Incrementally maintained histograms — the Gibbons–Matias–Poosala
+//! problem setting (the prior work of paper Section 3.4), solved with
+//! this crate's reservoir + rebuild machinery.
+//!
+//! A relation grows by inserts; the maintained histogram must stay
+//! accurate without ever re-scanning. We stream three very different
+//! insert orders and report error and rebuild counts as the table grows
+//! 40× past its initial size.
+//!
+//! ```text
+//! cargo run --release --example incremental_maintenance
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use samplehist::core::error::max_error_against;
+use samplehist::core::histogram::MaintainedHistogram;
+
+fn main() {
+    let total = 400_000usize;
+    let checkpoints = [20_000usize, 100_000, 400_000];
+
+    for (name, stream) in [
+        ("random order", {
+            let mut v: Vec<i64> = (0..total as i64).collect();
+            v.shuffle(&mut rand::rngs::StdRng::seed_from_u64(1));
+            v
+        }),
+        ("ascending (worst case: the future is always to the right)", {
+            (0..total as i64).collect()
+        }),
+        ("sawtooth (drifting hot range)", {
+            (0..total as i64).map(|i| (i % 1000) * 1000 + i / 1000).collect()
+        }),
+    ] {
+        println!("=== insert order: {name} ===");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut m = MaintainedHistogram::new(50, 10_000, 0.25, &stream[..1_000], &mut rng);
+        let mut inserted = 1_000usize;
+        println!(
+            "{:>10} {:>10} {:>14} {:>10}",
+            "inserted", "rebuilds", "max error f", "sample"
+        );
+        for &cp in &checkpoints {
+            m.insert_all(&stream[inserted..cp], &mut rng);
+            inserted = cp;
+            let mut sorted = stream[..inserted].to_vec();
+            sorted.sort_unstable();
+            let f = max_error_against(&m.histogram(), &sorted).relative_max();
+            println!(
+                "{:>10} {:>10} {:>14.3} {:>10}",
+                inserted,
+                m.rebuilds(),
+                f,
+                m.backing_sample_len()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Every stream keeps its error near the rebuild tolerance (0.25) while \
+         touching only the backing sample — no rescans, ever."
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: how much sampling is enough?
+//!
+//! Builds the perfect equi-height histogram of a column, asks Corollary 1
+//! how many random samples suffice for a 10%-accurate approximation,
+//! builds that approximation, and verifies the promise empirically.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+
+use samplehist::core::bounds::SamplingPlan;
+use samplehist::core::error::max_error_against;
+use samplehist::core::histogram::HistogramBuilder;
+use samplehist::data::DataSpec;
+
+fn main() {
+    let n: u64 = 4_000_000;
+    let buckets = 100;
+    let f = 0.10; // target: every bucket within 10% of n/k
+    let gamma = 0.01; // ... with 99% confidence
+
+    // 1. A (nearly) duplicate-free column — Section 3's setting. (Columns
+    //    with heavy duplication need Definition 4's fractional metric;
+    //    see the adaptive_block_sampling example for that path.)
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let dataset = DataSpec::UniformRandom { domain: 50 * n }.generate(n, &mut rng);
+    println!("data: {} with {} tuples", dataset.label, n);
+
+    // 2. The analytical answer (Corollary 1).
+    let plan = SamplingPlan::new(n, buckets, f, gamma);
+    println!(
+        "Corollary 1: r = {} samples ({:.2}% of the table) guarantee a {}-bucket \
+         histogram with ≤{:.0}% bucket error, w.p. ≥ {:.0}%",
+        plan.record_sample_size,
+        plan.sampling_rate() * 100.0,
+        buckets,
+        f * 100.0,
+        (1.0 - gamma) * 100.0
+    );
+    // The counter-intuitive headline of Section 3.3: the absolute sample
+    // size barely moves as the table grows.
+    let plan_100x = SamplingPlan::new(100 * n, buckets, f, gamma);
+    println!(
+        "(and a 100x bigger table would need only {} — {:.0}% more, not 100x)",
+        plan_100x.record_sample_size,
+        (plan_100x.record_sample_size as f64 / plan.record_sample_size as f64 - 1.0) * 100.0
+    );
+
+    // 3. Build both histograms.
+    let builder = HistogramBuilder::new(buckets).target_error(f).confidence(gamma);
+    let exact = builder.exact(&dataset.values);
+    let approx = builder.sampled(&dataset.values, &mut rng);
+
+    // 4. Verify: realized max error of the sampled histogram.
+    let mut sorted = dataset.values.clone();
+    sorted.sort_unstable();
+    let err = max_error_against(&approx, &sorted);
+    println!(
+        "realized: Δmax = {:.0} tuples = {:.1}% of the ideal bucket size (target {:.0}%)",
+        err.delta_max,
+        err.relative_max() * 100.0,
+        f * 100.0
+    );
+    assert!(
+        err.relative_max() <= f,
+        "the bound failed?! (probability ≤ {gamma})"
+    );
+
+    // 5. The histograms agree on shape.
+    println!(
+        "exact histogram:  first separators {:?}",
+        &exact.separators()[..5.min(exact.separators().len())]
+    );
+    println!(
+        "approx histogram: first separators {:?}",
+        &approx.separators()[..5.min(approx.separators().len())]
+    );
+    println!("ok: sampling {:.2}% of the data was enough.", plan.sampling_rate() * 100.0);
+}

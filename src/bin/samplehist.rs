@@ -1,0 +1,384 @@
+//! `samplehist` — a command-line front end for the library.
+//!
+//! ```text
+//! samplehist plan     --n 10000000 --k 600 --f 0.1 [--gamma 0.01]
+//! samplehist analyze  --n 1000000 --dist zipf:2 [--buckets 200]
+//!                     [--mode fullscan|row:0.01|block:0.01|adaptive:0.1]
+//!                     [--layout random|clustered|partial] [--compressed]
+//! samplehist distinct --n 1000000 --dist unifdup:100 [--rate 0.01]
+//! samplehist floor    --n 1000000 --r 20000 [--gamma 0.5]
+//! ```
+//!
+//! Everything runs on synthetic data generated in memory — the tool is a
+//! calculator and demonstrator for the paper's results, not a database
+//! client. Argument parsing is hand-rolled (the library keeps its
+//! dependency set to the paper's essentials).
+
+use rand::SeedableRng;
+
+use samplehist::core::bounds::SamplingPlan;
+use samplehist::core::distinct::adversarial::theorem8_error_floor;
+use samplehist::core::distinct::error::{abs_rel_error, ratio_error};
+use samplehist::core::distinct::{all_estimators, FrequencyProfile};
+use samplehist::core::error::max_error_against;
+use samplehist::data::{distinct_count, DataSpec};
+use samplehist::engine::{analyze, AnalyzeMode, AnalyzeOptions, Table};
+use samplehist::storage::{BlockSampler, HeapFile, Layout};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  samplehist plan     --n <rows> --k <buckets> --f <error> [--gamma <p>]
+  samplehist analyze  --n <rows> --dist <spec> [--buckets <k>] [--mode <m>]
+                      [--layout random|clustered|partial] [--compressed] [--seed <s>]
+  samplehist distinct --n <rows> --dist <spec> [--rate <frac>] [--seed <s>]
+  samplehist floor    --n <rows> --r <sample> [--gamma <p>]
+
+  <spec>: zipf:<Z> | unifdup:<copies> | uniform | normal:<sd> | selfsim:<h>
+  <m>:    fullscan | row:<rate> | block:<rate> | adaptive:<f>";
+
+/// Dispatch. Returns the full output as a string (testable).
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing subcommand")?;
+    let flags = parse_flags(it.as_slice())?;
+    match command.as_str() {
+        "plan" => cmd_plan(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "distinct" => cmd_distinct(&flags),
+        "floor" => cmd_floor(&flags),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// `--key value` pairs plus bare `--switch`es.
+struct Flags(Vec<(String, Option<String>)>);
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|(k, _)| k == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.parse(key)?.ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        let arg = &args[i];
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+        if value.is_some() {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        flags.push((key.to_string(), value.cloned()));
+    }
+    Ok(Flags(flags))
+}
+
+fn parse_dist(spec: &str, n: u64) -> Result<DataSpec, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((a, b)) => (a, Some(b)),
+        None => (spec, None),
+    };
+    let num = |p: Option<&str>, what: &str| -> Result<f64, String> {
+        p.ok_or_else(|| format!("{name} needs :{what}"))?
+            .parse()
+            .map_err(|_| format!("{name}: bad {what}"))
+    };
+    Ok(match name {
+        "zipf" => DataSpec::Zipf {
+            z: num(param, "Z")?,
+            domain: ((n / 10).max(1_000)) as usize,
+        },
+        "unifdup" => DataSpec::UnifDup { copies: num(param, "copies")? as u64 },
+        "uniform" => DataSpec::UniformRandom { domain: 10 * n },
+        "normal" => DataSpec::Normal { mean: 0.0, std_dev: num(param, "sd")? },
+        "selfsim" => DataSpec::SelfSimilar { domain: n.max(1000), h: num(param, "h")? },
+        other => return Err(format!("unknown distribution {other:?}")),
+    })
+}
+
+fn parse_layout(s: Option<&str>) -> Result<Layout, String> {
+    Ok(match s.unwrap_or("random") {
+        "random" => Layout::Random,
+        "clustered" => Layout::Clustered,
+        "partial" => Layout::paper_partial(),
+        other => return Err(format!("unknown layout {other:?}")),
+    })
+}
+
+fn parse_mode(s: Option<&str>) -> Result<AnalyzeMode, String> {
+    let s = s.unwrap_or("adaptive:0.1");
+    let (name, param) = match s.split_once(':') {
+        Some((a, b)) => (a, Some(b)),
+        None => (s, None),
+    };
+    let rate = |p: Option<&str>| -> Result<f64, String> {
+        p.ok_or_else(|| format!("{name} needs :<rate>"))?
+            .parse()
+            .map_err(|_| format!("{name}: bad rate"))
+    };
+    Ok(match name {
+        "fullscan" => AnalyzeMode::FullScan,
+        "row" => AnalyzeMode::RowSample { rate: rate(param)? },
+        "block" => AnalyzeMode::BlockSample { rate: rate(param)? },
+        "adaptive" => AnalyzeMode::Adaptive { target_f: rate(param)?, gamma: 0.05 },
+        other => return Err(format!("unknown mode {other:?}")),
+    })
+}
+
+fn cmd_plan(flags: &Flags) -> Result<String, String> {
+    let n: u64 = flags.require("n")?;
+    let k: usize = flags.require("k")?;
+    let f: f64 = flags.require("f")?;
+    let gamma: f64 = flags.parse("gamma")?.unwrap_or(0.01);
+    let plan = SamplingPlan::new(n, k, f, gamma);
+    Ok(format!(
+        "Corollary 1 sampling plan\n\
+           relation            n = {n}\n\
+           histogram buckets   k = {k}\n\
+           target max error    f = {f}\n\
+           failure probability γ = {gamma}\n\
+         -> record sample      r = {} ({:.2}% of the table)\n\
+         -> validation sample  s = {} (Theorem 7, both directions)\n\
+         -> verdict            {}\n",
+        plan.record_sample_size,
+        plan.sampling_rate() * 100.0,
+        plan.validation_sample_size,
+        if plan.sampling_is_pointless() {
+            "full scan is cheaper at these settings"
+        } else {
+            "sample"
+        }
+    ))
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<String, String> {
+    let n: u64 = flags.require("n")?;
+    let dist = parse_dist(flags.get("dist").ok_or("--dist is required")?, n)?;
+    let buckets: usize = flags.parse("buckets")?.unwrap_or(200);
+    let mode = parse_mode(flags.get("mode"))?;
+    let layout = parse_layout(flags.get("layout"))?;
+    let seed: u64 = flags.parse("seed")?.unwrap_or(0x5A17);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dataset = dist.generate(n, &mut rng);
+    let label = dataset.label.clone();
+    let mut sorted = dataset.values.clone();
+    sorted.sort_unstable();
+    let table = Table::builder("cli")
+        .column_with_blocking("col", dataset.values, 128, layout, &mut rng)
+        .build();
+
+    let opts = AnalyzeOptions { buckets, mode, compressed: flags.has("compressed") };
+    let stats = analyze(&table, "col", &opts, &mut rng).map_err(|e| e.to_string())?;
+    let realized = max_error_against(&stats.histogram, &sorted);
+
+    let mut out = format!(
+        "ANALYZE {label} (n = {n}, layout {:?})\n\
+           method           {}\n\
+           pages read       {}\n\
+           tuples sampled   {} ({:.2}%)\n\
+           density          {:.6}\n\
+           distinct (est)   {:.0}   [in sample: {}]\n\
+           distinct (true)  {}\n\
+           max error f      {:.4} (vs ground truth)\n",
+        layout,
+        stats.method,
+        stats.io.pages_read,
+        stats.sample_size,
+        stats.sampling_rate() * 100.0,
+        stats.density,
+        stats.distinct_estimate,
+        stats.distinct_in_sample,
+        distinct_count(&sorted),
+        realized.relative_max(),
+    );
+    if let Some(c) = &stats.compressed {
+        out.push_str(&format!(
+            "  compressed       {} heavy values, {} buckets used\n",
+            c.high_frequency_values().len(),
+            c.buckets_used()
+        ));
+    }
+    out.push_str("  first separators ");
+    let seps = stats.histogram.separators();
+    for s in seps.iter().take(8) {
+        out.push_str(&format!("{s} "));
+    }
+    if seps.len() > 8 {
+        out.push_str("...");
+    }
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_distinct(flags: &Flags) -> Result<String, String> {
+    let n: u64 = flags.require("n")?;
+    let dist = parse_dist(flags.get("dist").ok_or("--dist is required")?, n)?;
+    let rate: f64 = flags.parse("rate")?.unwrap_or(0.01);
+    if !(0.0..=1.0).contains(&rate) || rate <= 0.0 {
+        return Err("--rate must be in (0,1]".into());
+    }
+    let seed: u64 = flags.parse("seed")?.unwrap_or(0x5A17);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dataset = dist.generate(n, &mut rng);
+    let label = dataset.label.clone();
+    let mut sorted = dataset.values.clone();
+    sorted.sort_unstable();
+    let d = distinct_count(&sorted);
+
+    let file = HeapFile::with_layout(dataset.values, 128, Layout::Random, &mut rng);
+    let g = ((file.num_pages() as f64 * rate).ceil() as usize).clamp(1, file.num_pages());
+    let mut sampler = BlockSampler::new();
+    let mut sample = sampler.sample(&file, g, &mut rng);
+    sample.sort_unstable();
+    let profile = FrequencyProfile::from_sorted_sample(&sample);
+
+    let mut out = format!(
+        "distinct-value estimation on {label} (n = {n}, true d = {d}, \
+         sample = {} tuples / {} pages)\n\
+         {:<16} {:>12} {:>10} {:>10}\n",
+        sample.len(),
+        g,
+        "estimator",
+        "estimate",
+        "ratio",
+        "|rel|"
+    );
+    for est in all_estimators() {
+        let e = est.estimate(&profile, n);
+        if e.is_finite() {
+            out.push_str(&format!(
+                "{:<16} {:>12.0} {:>10.2} {:>10.4}\n",
+                est.name(),
+                e,
+                ratio_error(e, d),
+                abs_rel_error(e, d, n)
+            ));
+        } else {
+            out.push_str(&format!("{:<16} {:>12} {:>10} {:>10}\n", est.name(), "unstable", "-", "-"));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_floor(flags: &Flags) -> Result<String, String> {
+    let n: u64 = flags.require("n")?;
+    let r: u64 = flags.require("r")?;
+    let gamma: f64 = flags.parse("gamma")?.unwrap_or(0.5);
+    if r == 0 || r > n {
+        return Err("need 0 < r <= n".into());
+    }
+    if gamma <= (-(r as f64)).exp() || gamma >= 1.0 {
+        return Err("γ must be in (e^-r, 1)".into());
+    }
+    let floor = theorem8_error_floor(n, r, gamma);
+    Ok(format!(
+        "Theorem 8: sampling {r} of {n} tuples, with probability ≥ {gamma} some relation\n\
+         forces ANY distinct-value estimator into ratio error ≥ {floor:.2}\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn plan_command() {
+        let out = run(&argv("plan --n 10000000 --k 600 --f 0.2")).expect("valid");
+        assert!(out.contains("Corollary 1"));
+        assert!(out.contains("sample"));
+    }
+
+    #[test]
+    fn floor_command_matches_library() {
+        let out = run(&argv("floor --n 1000000 --r 200000 --gamma 0.5")).expect("valid");
+        assert!(out.contains("1.86"), "{out}");
+    }
+
+    #[test]
+    fn analyze_command_small() {
+        let out =
+            run(&argv("analyze --n 50000 --dist zipf:2 --buckets 50 --mode block:0.1")).expect("valid");
+        assert!(out.contains("ANALYZE Zipf(Z=2)"), "{out}");
+        assert!(out.contains("max error"));
+    }
+
+    #[test]
+    fn analyze_with_compressed_flag() {
+        let out = run(&argv(
+            "analyze --n 50000 --dist zipf:3 --buckets 20 --mode fullscan --compressed",
+        ))
+        .expect("valid");
+        assert!(out.contains("compressed"), "{out}");
+        assert!(out.contains("heavy values"));
+    }
+
+    #[test]
+    fn distinct_command_small() {
+        let out = run(&argv("distinct --n 50000 --dist unifdup:100 --rate 0.05")).expect("valid");
+        assert!(out.contains("GEE"));
+        assert!(out.contains("true d = 500"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv("")).is_err());
+        assert!(run(&argv("bogus")).is_err());
+        assert!(run(&argv("plan --n 100")).is_err(), "missing k/f");
+        assert!(run(&argv("analyze --n 100")).is_err(), "missing dist");
+        assert!(run(&argv("analyze --n 1000 --dist nope")).is_err());
+        assert!(run(&argv("floor --n 100 --r 200")).is_err(), "r > n");
+        assert!(run(&argv("distinct --n 100 --dist uniform --rate 2.0")).is_err());
+    }
+
+    #[test]
+    fn flag_parser_behaviour() {
+        let f = parse_flags(&argv("--a 1 --switch --b x")).expect("valid");
+        assert_eq!(f.get("a"), Some("1"));
+        assert!(f.has("switch"));
+        assert_eq!(f.get("switch"), None);
+        assert_eq!(f.get("b"), Some("x"));
+        assert!(parse_flags(&argv("positional")).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # samplehist — facade crate
+//!
+//! One-stop re-export of the `samplehist` workspace, a production-quality
+//! Rust implementation of *"Random Sampling for Histogram Construction:
+//! How much is enough?"* (Chaudhuri, Motwani & Narasayya, SIGMOD 1998).
+//!
+//! * [`core`] — histograms, error metrics, sampling bounds, the adaptive
+//!   CVB block-sampling algorithm, and distinct-value estimators.
+//! * [`storage`] — the paged heap-file substrate with physical layouts
+//!   and I/O accounting.
+//! * [`data`] — Zipf / Unif-Dup / uniform / normal / self-similar
+//!   workload generators.
+//! * [`engine`] — a miniature statistics subsystem (`ANALYZE`, column
+//!   statistics, selectivity estimation, access-path choice).
+//!
+//! See the workspace README for a guided tour and `examples/` for
+//! runnable programs.
+
+pub use samplehist_core as core;
+pub use samplehist_data as data;
+pub use samplehist_engine as engine;
+pub use samplehist_storage as storage;

@@ -1,0 +1,169 @@
+//! Cross-crate integration: data generation → paged storage → adaptive
+//! sampling → column statistics → selectivity → plan choice, the whole
+//! pipeline the paper's system lived in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist::core::error::max_error_against;
+use samplehist::core::BlockSource;
+use samplehist::data::{distinct_count, DataSpec, DataSummary};
+use samplehist::engine::optimizer::{choose_access_path, evaluate_choice, CostModel};
+use samplehist::engine::{
+    analyze, estimate_cardinality, AnalyzeMode, AnalyzeOptions, Catalog, Predicate, Table,
+};
+use samplehist::storage::Layout;
+
+fn build_table(spec: DataSpec, n: u64, layout: Layout, seed: u64) -> (Table, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = spec.generate(n, &mut rng);
+    let mut sorted = dataset.values.clone();
+    sorted.sort_unstable();
+    let table = Table::builder("t")
+        .column("c", dataset.values, 64, layout, &mut rng)
+        .build();
+    (table, sorted)
+}
+
+#[test]
+fn full_pipeline_zipf_random_layout() {
+    let n = 200_000u64;
+    let (table, sorted) = build_table(
+        DataSpec::Zipf { z: 1.0, domain: 40_000 },
+        n,
+        Layout::Random,
+        1,
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // Adaptive statistics collection reads less than the full file.
+    let opts =
+        AnalyzeOptions { buckets: 100, mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 }, compressed: false };
+    let stats = analyze(&table, "c", &opts, &mut rng).expect("column exists");
+    let pages = table.column("c").expect("exists").file().num_blocks() as u64;
+    assert!(
+        stats.io.pages_read < pages,
+        "adaptive mode should converge before a full scan on a random layout \
+         ({} of {pages} pages)",
+        stats.io.pages_read
+    );
+
+    // The resulting statistics are accurate for range selectivity.
+    for pred in [
+        Predicate::Le(100),
+        Predicate::Between { low: 10, high: 5_000 },
+        Predicate::Gt(20_000),
+    ] {
+        let est = estimate_cardinality(&stats, &pred);
+        let truth = pred.true_cardinality(&sorted) as f64;
+        assert!(
+            (est.rows - truth).abs() <= 0.05 * n as f64,
+            "{pred}: est {} vs truth {truth}",
+            est.rows
+        );
+    }
+
+    // Distinct estimate is in the feasible range and rel-accurate.
+    let d = distinct_count(&sorted);
+    assert!(stats.distinct_estimate >= stats.distinct_in_sample as f64);
+    assert!(
+        (stats.distinct_estimate - d as f64).abs() / n as f64 <= 0.05,
+        "distinct: {} vs {d}",
+        stats.distinct_estimate
+    );
+
+    // Density agrees with ground truth within sampling noise.
+    let truth = DataSummary::of_sorted(&sorted);
+    assert!(
+        (stats.density - truth.density).abs() <= 0.1 * truth.density.max(0.001),
+        "density {} vs {}",
+        stats.density,
+        truth.density
+    );
+}
+
+#[test]
+fn clustered_layout_forces_more_io_than_random() {
+    let n = 120_000u64;
+    let spec = DataSpec::UnifDup { copies: 50 };
+    let opts =
+        AnalyzeOptions { buckets: 50, mode: AnalyzeMode::Adaptive { target_f: 0.25, gamma: 0.05 }, compressed: false };
+
+    let mut pages = Vec::new();
+    for (layout, seed) in [(Layout::Random, 3), (Layout::Clustered, 4)] {
+        let (table, _) = build_table(spec, n, layout, seed);
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        let stats = analyze(&table, "c", &opts, &mut rng).expect("exists");
+        pages.push(stats.io.pages_read);
+    }
+    assert!(
+        pages[1] > pages[0],
+        "clustered ({}) should cost more pages than random ({})",
+        pages[1],
+        pages[0]
+    );
+}
+
+#[test]
+fn catalog_feeds_plan_choice() {
+    let n = 100_000u64;
+    let (table, sorted) =
+        build_table(DataSpec::UniformRandom { domain: 10 * n }, n, Layout::Random, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut catalog = Catalog::new();
+    catalog
+        .analyze_and_store(&table, "c", &AnalyzeOptions::full_scan(100), &mut rng)
+        .expect("exists");
+
+    let stats = catalog.get("t", "c").expect("stored");
+    let pages = table.column("c").expect("exists").file().num_blocks() as u64;
+    let cost = CostModel::default();
+
+    // A selective predicate must seek; an unselective one must scan; both
+    // with regret 1 when statistics are exact.
+    let selective = Predicate::Le(sorted[40]); // ~40 rows
+    let broad = Predicate::Ge(sorted[(n / 2) as usize]); // ~half the table
+    for (pred, expect_seek) in [(selective, true), (broad, false)] {
+        let est = estimate_cardinality(stats, &pred);
+        let choice = choose_access_path(&est, pages, &cost);
+        let outcome = evaluate_choice(&choice, pred.true_cardinality(&sorted), pages, &cost);
+        assert_eq!(
+            matches!(choice.path, samplehist::engine::optimizer::AccessPath::IndexSeek),
+            expect_seek,
+            "{pred}"
+        );
+        assert!(outcome.regret < 1.3, "{pred}: regret {}", outcome.regret);
+    }
+}
+
+#[test]
+fn block_sampled_histogram_matches_record_sampled_quality_on_random_layout() {
+    // Section 4.1 scenario (a): with random placement, block sampling is
+    // as good as record sampling at equal tuple counts.
+    let n = 150_000u64;
+    let (table, sorted) =
+        build_table(DataSpec::UniformRandom { domain: n * 20 }, n, Layout::Random, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+
+    let block = analyze(
+        &table,
+        "c",
+        &AnalyzeOptions { buckets: 50, mode: AnalyzeMode::BlockSample { rate: 0.1 }, compressed: false },
+        &mut rng,
+    )
+    .expect("exists");
+    let row = analyze(
+        &table,
+        "c",
+        &AnalyzeOptions { buckets: 50, mode: AnalyzeMode::RowSample { rate: 0.1 }, compressed: false },
+        &mut rng,
+    )
+    .expect("exists");
+
+    let f_block = max_error_against(&block.histogram, &sorted).relative_max();
+    let f_row = max_error_against(&row.histogram, &sorted).relative_max();
+    assert!(f_block < 2.5 * f_row + 0.05, "block f={f_block}, row f={f_row}");
+
+    // ... while costing two orders of magnitude fewer page reads.
+    assert!(block.io.pages_read * 50 < row.io.pages_read);
+}

@@ -1,0 +1,177 @@
+//! The distinct-value estimator shoot-out, in the style of the Haas et
+//! al. (VLDB 1995) study the paper cites: a battery of distribution
+//! shapes × sampling rates, with the paper's Section 6 claims asserted
+//! across the whole grid rather than at single points.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist::core::distinct::error::{abs_rel_error, ratio_error};
+use samplehist::core::distinct::{
+    all_estimators, DistinctEstimator, FrequencyProfile, Gee, HybridGee, ScaleUp,
+};
+use samplehist::core::sampling;
+use samplehist::data::{distinct_count, DataSpec};
+
+const N: u64 = 150_000;
+const RATES: [f64; 3] = [0.01, 0.05, 0.2];
+
+fn battery() -> Vec<DataSpec> {
+    vec![
+        DataSpec::Zipf { z: 0.5, domain: 30_000 },
+        DataSpec::Zipf { z: 1.0, domain: 30_000 },
+        DataSpec::Zipf { z: 2.0, domain: 30_000 },
+        DataSpec::Zipf { z: 4.0, domain: 30_000 },
+        DataSpec::UnifDup { copies: 10 },
+        DataSpec::UnifDup { copies: 100 },
+        DataSpec::UnifDup { copies: 1000 },
+        DataSpec::UniformRandom { domain: 20_000 },
+        DataSpec::SelfSimilar { domain: 30_000, h: 0.2 },
+        DataSpec::Normal { mean: 0.0, std_dev: 3_000.0 },
+    ]
+}
+
+struct Case {
+    label: String,
+    d: u64,
+    profile: FrequencyProfile,
+}
+
+fn cases() -> Vec<(f64, Case)> {
+    let mut out = Vec::new();
+    for (i, spec) in battery().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let mut data = spec.generate(N, &mut rng).values;
+        data.sort_unstable();
+        let d = distinct_count(&data);
+        for &rate in &RATES {
+            let r = (N as f64 * rate) as usize;
+            let mut sample = sampling::with_replacement(&data, r, &mut rng);
+            sample.sort_unstable();
+            out.push((
+                rate,
+                Case {
+                    label: format!("{} @ {:.0}%", spec.label(), rate * 100.0),
+                    d,
+                    profile: FrequencyProfile::from_sorted_sample(&sample),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Section 6.2's headline, asserted over the whole battery: GEE's
+/// rel-error is small on every distribution × rate combination.
+#[test]
+fn gee_rel_error_small_everywhere() {
+    for (_, case) in cases() {
+        let e = Gee.estimate(&case.profile, N);
+        let rel = abs_rel_error(e, case.d, N);
+        assert!(rel < 0.2, "{}: GEE rel-error {rel}", case.label);
+    }
+}
+
+/// GEE's worst-case design goal: its ratio error never exceeds √(n/r)
+/// (the quantity it is optimized against), on any battery member.
+#[test]
+fn gee_ratio_error_within_design_bound() {
+    for (rate, case) in cases() {
+        let e = Gee.estimate(&case.profile, N);
+        let bound = (1.0 / rate).sqrt() + 1.0; // sqrt(n/r), +1 slack for clamping
+        let err = ratio_error(e, case.d);
+        assert!(
+            err <= bound,
+            "{}: GEE ratio error {err} > design bound {bound}",
+            case.label
+        );
+    }
+}
+
+/// The naive scale-up has unbounded error on duplicated data — the reason
+/// nontrivial estimators exist. Verify it actually fails somewhere GEE
+/// doesn't.
+#[test]
+fn scale_up_fails_where_gee_does_not() {
+    let mut scale_up_worst = 1.0f64;
+    let mut gee_worst = 1.0f64;
+    for (_, case) in cases() {
+        scale_up_worst = scale_up_worst.max(ratio_error(ScaleUp.estimate(&case.profile, N), case.d));
+        gee_worst = gee_worst.max(ratio_error(Gee.estimate(&case.profile, N), case.d));
+    }
+    assert!(
+        scale_up_worst > 3.0 * gee_worst,
+        "scale-up worst {scale_up_worst} vs GEE worst {gee_worst}"
+    );
+}
+
+/// The hybrid never loses to plain GEE by much, and wins decisively
+/// somewhere (the Unif/Dup rows).
+#[test]
+fn hybrid_dominates_gee_overall() {
+    let hybrid = HybridGee::default();
+    let mut hybrid_beats = 0usize;
+    for (_, case) in cases() {
+        let e_g = ratio_error(Gee.estimate(&case.profile, N), case.d);
+        let e_h = ratio_error(hybrid.estimate(&case.profile, N), case.d);
+        assert!(
+            e_h <= e_g * 1.7 + 0.2,
+            "{}: hybrid {e_h} much worse than GEE {e_g}",
+            case.label
+        );
+        if e_h < e_g * 0.8 {
+            hybrid_beats += 1;
+        }
+    }
+    assert!(hybrid_beats >= 2, "hybrid won decisively only {hybrid_beats} times");
+}
+
+/// Estimates improve (weakly) with the sampling rate for every estimator,
+/// distribution by distribution — measured as the mean ratio error at 1%
+/// vs 20% across the battery.
+#[test]
+fn more_sampling_helps_on_average() {
+    let all = cases();
+    for est in all_estimators() {
+        if est.name() == "Goodman" {
+            continue; // unstable by design
+        }
+        if est.name() == "ChaoLee" {
+            // Known pathology: on extreme skew (Zipf Z=4) the Chao–Lee
+            // CV correction grows with the sample and overshoots harder
+            // at higher rates — one of the behaviors that motivated the
+            // paper's worst-case-first approach.
+            continue;
+        }
+        let mean_err = |rate: f64| -> f64 {
+            let mut acc = 0.0;
+            let mut count = 0;
+            for (r, case) in &all {
+                if (r - rate).abs() < 1e-12 {
+                    acc += ratio_error(est.estimate(&case.profile, N), case.d).min(100.0);
+                    count += 1;
+                }
+            }
+            acc / count as f64
+        };
+        let low = mean_err(0.01);
+        let high = mean_err(0.2);
+        assert!(
+            high <= low + 0.05,
+            "{}: mean ratio error grew with rate ({low} -> {high})",
+            est.name()
+        );
+    }
+}
+
+/// Sanity for the battery itself: it spans three orders of magnitude in
+/// true distinct count and includes both near-distinct and heavy-dup
+/// shapes.
+#[test]
+fn battery_is_diverse() {
+    let all = cases();
+    let ds: Vec<u64> = all.iter().map(|(_, c)| c.d).collect();
+    let max = *ds.iter().max().expect("non-empty");
+    let min = *ds.iter().min().expect("non-empty");
+    assert!(max / min >= 100, "battery d range {min}..{max} too narrow");
+}

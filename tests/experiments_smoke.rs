@@ -1,0 +1,44 @@
+//! Smoke test: the entire evaluation harness runs end to end at a tiny
+//! scale and produces structurally sane tables for every paper artifact.
+
+use samplehist_bench::{experiments, Scale};
+
+#[test]
+fn every_experiment_produces_tables() {
+    let scale = Scale { n: 60_000, trials: 1, seed: 123, full: false };
+    let all = experiments::run_all(&scale);
+    assert_eq!(all.len(), 12, "one entry per paper artifact group + thm7 + ablations");
+
+    let mut seen = std::collections::HashSet::new();
+    for (id, tables) in &all {
+        assert!(seen.insert(*id), "duplicate experiment id {id}");
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in tables {
+            assert!(!t.title.is_empty());
+            assert!(!t.columns.is_empty());
+            assert!(!t.rows.is_empty(), "{id}: empty table {:?}", t.title);
+            for row in &t.rows {
+                assert_eq!(row.len(), t.columns.len(), "{id}: ragged row");
+            }
+            // Render must not panic and must contain the title.
+            assert!(t.render().contains(&t.title));
+        }
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_given_a_seed() {
+    let scale = Scale { n: 50_000, trials: 1, seed: 7, full: false };
+    let a = experiments::ex1::run(&scale);
+    let b = experiments::ex1::run(&scale);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.rows, y.rows);
+    }
+
+    let a = experiments::fig9_12::run(&scale);
+    let b = experiments::fig9_12::run(&scale);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.rows, y.rows, "stochastic experiment not seed-stable");
+    }
+}

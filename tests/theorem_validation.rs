@@ -1,0 +1,181 @@
+//! Statistical validation of the paper's analytical results, run across
+//! distributions and sampling modes. Fixed seeds; tolerances chosen so a
+//! correct implementation passes with enormous margin.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use samplehist::core::bounds::{corollary1_sample_size, SamplingPlan};
+use samplehist::core::distinct::error::abs_rel_error;
+use samplehist::core::distinct::{DistinctEstimator, FrequencyProfile, Gee};
+use samplehist::core::error::{delta_separation, fractional_max_error, max_error_against};
+use samplehist::core::histogram::{EquiHeightHistogram, HistogramBuilder};
+use samplehist::core::sampling;
+use samplehist::data::{distinct_count, DataSpec};
+
+/// Theorem 4 / Corollary 1: a Corollary-1-sized sample achieves the
+/// promised max error on duplicate-free data, whatever the value
+/// distribution — and does so with margin (the bound is conservative).
+#[test]
+fn corollary1_holds_across_distributions() {
+    let n = 300_000u64;
+    let k = 40usize;
+    let f = 0.2f64;
+    let gamma = 0.05f64;
+    let r = corollary1_sample_size(k, f, n, gamma).ceil() as usize;
+    assert!(r < n as usize, "test needs a non-degenerate sample size");
+
+    // Distinct values with three very different *orderings/spacings*: the
+    // guarantee is distribution-free.
+    let make = |style: u8, rng: &mut StdRng| -> Vec<i64> {
+        match style {
+            0 => (0..n as i64).collect(),
+            1 => (0..n as i64).map(|i| i * i).collect(),
+            _ => {
+                // Random distinct values over a huge domain.
+                sampling::without_replacement(
+                    &(0..4 * n as i64).collect::<Vec<_>>(),
+                    n as usize,
+                    rng,
+                )
+            }
+        }
+    };
+
+    for style in 0..3u8 {
+        let mut rng = StdRng::seed_from_u64(style as u64 + 10);
+        let mut data = make(style, &mut rng);
+        data.sort_unstable();
+        let sample = sampling::with_replacement(&data, r, &mut rng);
+        let h = EquiHeightHistogram::from_unsorted_sample(sample, k, n);
+        let realized = max_error_against(&h, &data).relative_max();
+        assert!(
+            realized <= f,
+            "style {style}: realized f = {realized} > target {f} (probability ≤ γ)"
+        );
+    }
+}
+
+/// Section 3.1's claim that the with/without-replacement distinction does
+/// not matter: both sampling modes deliver comparable realized error.
+#[test]
+fn with_and_without_replacement_agree() {
+    let n = 200_000u64;
+    let data: Vec<i64> = (0..n as i64).collect();
+    let k = 50;
+    let builder = HistogramBuilder::new(k).target_error(0.25).confidence(0.05);
+
+    let mut errs = [0.0f64; 2];
+    for trial in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(trial + 20);
+        let with = builder.sampled(&data, &mut rng);
+        let without = builder.without_replacement().sampled(&data, &mut rng);
+        errs[0] += max_error_against(&with, &data).relative_max();
+        errs[1] += max_error_against(&without, &data).relative_max();
+    }
+    let ratio = (errs[0] / errs[1]).max(errs[1] / errs[0]);
+    assert!(ratio < 2.0, "with {} vs without {}", errs[0], errs[1]);
+}
+
+/// δ-separation (Definition 2) is never smaller than the count deviation
+/// it strengthens, and shrinks as the sample grows (Theorem 5 direction).
+#[test]
+fn separation_dominates_and_shrinks() {
+    let n = 100_000u64;
+    let data: Vec<i64> = (0..n as i64).collect();
+    let k = 20;
+    let perfect = EquiHeightHistogram::from_sorted(&data, k);
+
+    let mut rng = StdRng::seed_from_u64(30);
+    let mut previous = u64::MAX;
+    for r in [1_000usize, 10_000, 100_000] {
+        let sample = sampling::with_replacement(&data, r, &mut rng);
+        let h = EquiHeightHistogram::from_unsorted_sample(sample, k, n);
+        let sep = delta_separation(&h, &perfect, &data).max;
+        let dev = max_error_against(&h, &data).delta_max;
+        assert!(sep as f64 + 1e-9 >= dev, "r={r}: separation {sep} < deviation {dev}");
+        assert!(
+            sep <= previous,
+            "separation should shrink with r (was {previous}, now {sep})"
+        );
+        previous = sep;
+    }
+}
+
+/// The fractional metric (Definition 4) agrees with Definition 1 on
+/// duplicate-free data for *sampled* histograms too, and stays finite and
+/// meaningful on heavily duplicated data where Definition 1 breaks down.
+#[test]
+fn fractional_metric_generalizes_definition_1() {
+    let n = 120_000u64;
+    let mut rng = StdRng::seed_from_u64(40);
+
+    // Duplicate-free: the two metrics coincide when the sample is the
+    // whole dataset (so reference gaps are exactly 1/k).
+    let distinct: Vec<i64> = (0..n as i64).collect();
+    let h = EquiHeightHistogram::from_sorted(&distinct, 30);
+    let skewed: Vec<i64> = (0..n as i64).map(|i| i / 3).collect();
+    let f_def4 = fractional_max_error(h.separators(), &distinct, &skewed).max;
+    let f_def1 = max_error_against(&h, &skewed).relative_max();
+    assert!((f_def4 - f_def1).abs() < 1e-9);
+
+    // Heavy duplicates: Zipf(3) has one value with ~83% of the mass.
+    let dup = DataSpec::Zipf { z: 3.0, domain: 10_000 }.generate(n, &mut rng);
+    let mut sorted = dup.values;
+    sorted.sort_unstable();
+    let sample = sampling::with_replacement(&sorted, 30_000, &mut rng);
+    let hs = EquiHeightHistogram::from_unsorted_sample(sample.clone(), 30, n);
+    let mut sample_sorted = sample;
+    sample_sorted.sort_unstable();
+    let f_prime = fractional_max_error(hs.separators(), &sample_sorted, &sorted).max;
+    assert!(f_prime.is_finite());
+    assert!(f_prime < 0.5, "30k samples of a 120k multiset: f' = {f_prime}");
+}
+
+/// GEE's rel-error stays small across distribution shapes — the paper's
+/// Section 6.2 promise, checked beyond the two distributions of the
+/// figures.
+#[test]
+fn gee_rel_error_small_across_shapes() {
+    let n = 200_000u64;
+    let specs = [
+        DataSpec::Zipf { z: 2.0, domain: 40_000 },
+        DataSpec::UnifDup { copies: 100 },
+        DataSpec::SelfSimilar { domain: 50_000, h: 0.2 },
+        DataSpec::Normal { mean: 0.0, std_dev: 20_000.0 },
+        DataSpec::UniformRandom { domain: 30_000 },
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(50 + i as u64);
+        let mut data = spec.generate(n, &mut rng).values;
+        data.sort_unstable();
+        let d = distinct_count(&data);
+        let mut sample = sampling::with_replacement(&data, (n / 20) as usize, &mut rng);
+        sample.sort_unstable();
+        let profile = FrequencyProfile::from_sorted_sample(&sample);
+        let estimate = Gee.estimate(&profile, n);
+        let rel = abs_rel_error(estimate, d, n);
+        // Columns where d is a large fraction of n (the wide Normal here,
+        // d/n ≈ 0.37) are the Theorem 8 hard regime: GEE's √(n/r) hedge
+        // leaves rel-error up to ~f1·(√(n/r)−1)/n ≈ 0.2 at a 5% sample.
+        // Everything milder sits well under 0.12.
+        assert!(rel < 0.25, "{}: rel-error {rel} (d = {d}, est = {estimate})", spec.label());
+    }
+}
+
+/// The SamplingPlan's "sampling is pointless" verdict is consistent with
+/// what actually happens: when the plan says sample, the sampled
+/// histogram meets the target.
+#[test]
+fn plan_verdicts_are_actionable() {
+    let n = 250_000u64;
+    let plan = SamplingPlan::new(n, 30, 0.25, 0.05);
+    assert!(!plan.sampling_is_pointless());
+
+    let data: Vec<i64> = (0..n as i64).collect();
+    let mut rng = StdRng::seed_from_u64(60);
+    let sample =
+        sampling::with_replacement(&data, plan.record_sample_size as usize, &mut rng);
+    let h = EquiHeightHistogram::from_unsorted_sample(sample, 30, n);
+    assert!(max_error_against(&h, &data).relative_max() <= 0.25);
+}
