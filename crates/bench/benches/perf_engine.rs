@@ -7,8 +7,7 @@ use rand::SeedableRng;
 
 use samplehist_data::DataSpec;
 use samplehist_engine::{
-    analyze, estimate_cardinality, estimate_equijoin, AnalyzeMode, AnalyzeOptions, Predicate,
-    Table,
+    analyze, estimate_cardinality, estimate_equijoin, AnalyzeMode, AnalyzeOptions, Predicate, Table,
 };
 use samplehist_storage::Layout;
 
@@ -27,11 +26,19 @@ fn bench_analyze(c: &mut Criterion) {
         ("full_scan_k200", AnalyzeOptions::full_scan(200)),
         (
             "block_sample_1pct_k200",
-            AnalyzeOptions { buckets: 200, mode: AnalyzeMode::BlockSample { rate: 0.01 }, compressed: false },
+            AnalyzeOptions {
+                buckets: 200,
+                mode: AnalyzeMode::BlockSample { rate: 0.01 },
+                compressed: false,
+            },
         ),
         (
             "adaptive_f02_k200",
-            AnalyzeOptions { buckets: 200, mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 }, compressed: false },
+            AnalyzeOptions {
+                buckets: 200,
+                mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 },
+                compressed: false,
+            },
         ),
     ] {
         group.bench_function(name, |b| {
@@ -45,11 +52,10 @@ fn bench_analyze(c: &mut Criterion) {
 fn bench_selectivity(c: &mut Criterion) {
     let table = demo_table(1_000_000);
     let mut rng = StdRng::seed_from_u64(17);
-    let stats = analyze(&table, "c", &AnalyzeOptions::full_scan(200), &mut rng)
-        .expect("column exists");
-    let preds: Vec<Predicate> = (0..100)
-        .map(|i| Predicate::Between { low: i * 37, high: i * 37 + 5_000 })
-        .collect();
+    let stats =
+        analyze(&table, "c", &AnalyzeOptions::full_scan(200), &mut rng).expect("column exists");
+    let preds: Vec<Predicate> =
+        (0..100).map(|i| Predicate::Between { low: i * 37, high: i * 37 + 5_000 }).collect();
     c.bench_function("selectivity_100_predicates", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -59,9 +65,7 @@ fn bench_selectivity(c: &mut Criterion) {
             acc
         })
     });
-    c.bench_function("equijoin_estimate", |b| {
-        b.iter(|| estimate_equijoin(&stats, &stats))
-    });
+    c.bench_function("equijoin_estimate", |b| b.iter(|| estimate_equijoin(&stats, &stats)));
 }
 
 criterion_group! {

@@ -1,0 +1,140 @@
+//! Before/after wall-clock of the histogram construction pipeline:
+//! sort-based vs selection-based construction and serial vs parallel
+//! primitives, written to `BENCH_pipeline.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p samplehist-bench --bin pipeline_bench
+//! SAMPLEHIST_N=1000000 cargo run --release -p samplehist-bench --bin pipeline_bench
+//! ```
+//!
+//! "Before" is the seed pipeline: clone + full `sort_unstable` +
+//! `EquiHeightHistogram::from_sorted`. "After" is
+//! `EquiHeightHistogram::from_unsorted`, which routes large inputs
+//! through O(n log k) multi-rank selection. Every timed repetition also
+//! asserts the two paths produce byte-identical histograms.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samplehist_core::distinct::FrequencyProfile;
+use samplehist_core::histogram::EquiHeightHistogram;
+use samplehist_parallel as parallel;
+
+/// Paper-scale default (Section 7 used N = 10,000,000).
+const DEFAULT_N: usize = 10_000_000;
+/// One 8 KB page of integer separators (Section 7.1).
+const BUCKETS: usize = 600;
+/// Timed repetitions per measurement; the minimum is reported.
+const REPS: usize = 3;
+
+fn gen_values(n: usize, seed: u64) -> Vec<i64> {
+    // Duplicate-heavy: ~10 copies per distinct value on average, the
+    // regime where both bucket counting and profiling do real work.
+    let domain = (n as i64 / 10).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+/// Minimum wall-clock seconds of `f` over [`REPS`] runs.
+fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn main() {
+    let n: usize =
+        std::env::var("SAMPLEHIST_N").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_N);
+    let threads = parallel::num_threads();
+    println!("pipeline bench: n = {n}, k = {BUCKETS}, threads = {threads}, reps = {REPS}");
+
+    let values = gen_values(n, 0x5A17);
+
+    // -- Equi-height construction: sort path (before) vs from_unsorted
+    //    (after, selection-routed at this size).
+    let (sort_s, reference) = time_min(|| {
+        let mut v = values.clone();
+        v.sort_unstable();
+        EquiHeightHistogram::from_sorted(&v, BUCKETS)
+    });
+    let (selection_s, candidate) =
+        time_min(|| EquiHeightHistogram::from_unsorted(values.clone(), BUCKETS));
+    assert_eq!(candidate, reference, "selection path must be byte-identical to the sort path");
+    // The clone is shared overhead of both measurements; report it so the
+    // construction-only speedup can be separated out.
+    let (clone_s, _) = time_min(|| values.clone());
+    let speedup = sort_s / selection_s;
+    let speedup_ex_clone = (sort_s - clone_s) / (selection_s - clone_s).max(1e-9);
+    println!("construction: sort {sort_s:.3}s vs selection {selection_s:.3}s  ({speedup:.2}x, {speedup_ex_clone:.2}x excluding the shared clone)");
+
+    // -- Sorting: serial vs parallel (equal by construction; identical on
+    //    a single-core box).
+    let (serial_sort_s, a) = time_min(|| {
+        let mut v = values.clone();
+        parallel::par_sort_unstable_threads(1, &mut v);
+        v
+    });
+    let (par_sort_s, b) = time_min(|| {
+        let mut v = values.clone();
+        parallel::par_sort_unstable(&mut v);
+        v
+    });
+    assert_eq!(a, b, "parallel sort must agree with serial sort");
+    println!("sort: serial {serial_sort_s:.3}s vs {threads}-thread {par_sort_s:.3}s");
+
+    // -- Frequency profile over the sorted column: serial vs parallel.
+    let sorted = b;
+    let (serial_prof_s, p1) = time_min(|| FrequencyProfile::from_sorted_sample_threads(1, &sorted));
+    let (par_prof_s, p2) = time_min(|| FrequencyProfile::from_sorted_sample(&sorted));
+    assert_eq!(p1, p2, "parallel profile must be bit-identical to serial");
+    println!("frequency profile: serial {serial_prof_s:.3}s vs {threads}-thread {par_prof_s:.3}s");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"n\": {n},\n",
+            "  \"buckets\": {k},\n",
+            "  \"threads\": {threads},\n",
+            "  \"reps\": {reps},\n",
+            "  \"construction\": {{\n",
+            "    \"before_sort_seconds\": {sort:.6},\n",
+            "    \"after_selection_seconds\": {sel:.6},\n",
+            "    \"shared_clone_seconds\": {clone:.6},\n",
+            "    \"speedup\": {speedup:.3},\n",
+            "    \"speedup_excluding_clone\": {speedup_ex:.3}\n",
+            "  }},\n",
+            "  \"sort\": {{\n",
+            "    \"serial_seconds\": {ss:.6},\n",
+            "    \"parallel_seconds\": {ps:.6}\n",
+            "  }},\n",
+            "  \"frequency_profile\": {{\n",
+            "    \"serial_seconds\": {sp:.6},\n",
+            "    \"parallel_seconds\": {pp:.6}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        n = n,
+        k = BUCKETS,
+        threads = threads,
+        reps = REPS,
+        sort = sort_s,
+        sel = selection_s,
+        clone = clone_s,
+        speedup = speedup,
+        speedup_ex = speedup_ex_clone,
+        ss = serial_sort_s,
+        ps = par_sort_s,
+        sp = serial_prof_s,
+        pp = par_prof_s,
+    );
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

@@ -16,12 +16,8 @@ use rand::Rng;
 
 use samplehist_core::error::{fractional_max_error, max_error_against};
 use samplehist_core::estimate::{true_range_count, RangeEstimator};
-use samplehist_core::histogram::{
-    CompressedHistogram, EquiHeightHistogram, EquiWidthHistogram,
-};
-use samplehist_core::sampling::{
-    self, cvb, BlockSource, CvbConfig, Schedule, ValidationMode,
-};
+use samplehist_core::histogram::{CompressedHistogram, EquiHeightHistogram, EquiWidthHistogram};
+use samplehist_core::sampling::{self, cvb, BlockSource, CvbConfig, Schedule, ValidationMode};
 use samplehist_data::DataSpec;
 use samplehist_storage::Layout;
 
@@ -121,23 +117,30 @@ fn schedule_ablation(scale: &Scale) -> ResultTable {
     let spec = DataSpec::Zipf { z: 2.0, domain: zipf_domain(n) };
 
     let mut t = ResultTable::new(
-        format!("Ablation 1: CVB stepping schedule (random layout, Z=2, k={bins}, f={target_f}, N={n})"),
+        format!(
+            "Ablation 1: CVB stepping schedule (random layout, Z=2, k={bins}, f={target_f}, N={n})"
+        ),
         &["schedule", "rounds", "blocks", "rate", "converged", "true error"],
     );
     type ScheduleFactory = Box<dyn Fn(usize) -> Schedule>;
     let schedules: Vec<(&str, ScheduleFactory)> = vec![
-        ("doubling (paper §4.2)", Box::new(|blocks| Schedule::Doubling {
-            initial_blocks: (blocks / 100).max(2),
-        })),
+        (
+            "doubling (paper §4.2)",
+            Box::new(|blocks| Schedule::Doubling { initial_blocks: (blocks / 100).max(2) }),
+        ),
         ("sqrt steps ×5 (prototype §7.1)", Box::new(|_| Schedule::SqrtSteps { multiplier: 5.0 })),
         ("sqrt steps ×25", Box::new(|_| Schedule::SqrtSteps { multiplier: 25.0 })),
-        ("geometric ×3", Box::new(|blocks| Schedule::Geometric {
-            initial_blocks: (blocks / 100).max(2),
-            ratio: 3.0,
-        })),
-        ("fixed 2% rounds", Box::new(|blocks| Schedule::Fixed {
-            blocks_per_round: (blocks / 50).max(1),
-        })),
+        (
+            "geometric ×3",
+            Box::new(|blocks| Schedule::Geometric {
+                initial_blocks: (blocks / 100).max(2),
+                ratio: 3.0,
+            }),
+        ),
+        (
+            "fixed 2% rounds",
+            Box::new(|blocks| Schedule::Fixed { blocks_per_round: (blocks / 50).max(1) }),
+        ),
     ];
 
     for (name, make) in schedules {
@@ -159,12 +162,9 @@ fn schedule_ablation(scale: &Scale) -> ResultTable {
             rounds += result.rounds.len() as f64;
             blocks += result.blocks_sampled as f64;
             tuples += result.tuples_sampled as f64;
-            err += fractional_max_error(
-                result.histogram.separators(),
-                &result.sample_sorted,
-                &full,
-            )
-            .max;
+            err +=
+                fractional_max_error(result.histogram.separators(), &result.sample_sorted, &full)
+                    .max;
             converged_all &= result.converged || result.exhausted;
         }
         let tr = scale.trials as f64;
@@ -199,8 +199,7 @@ fn validation_ablation(scale: &Scale) -> ResultTable {
         let (mut blocks, mut tuples, mut err) = (0.0f64, 0.0f64, 0.0f64);
         for trial in 0..scale.trials {
             let mut rng = scale.rng(&format!("{ID}/val/{mode:?}"), trial);
-            let file =
-                build_file(&spec, n, Layout::paper_partial(), DEFAULT_BLOCKING, &mut rng);
+            let file = build_file(&spec, n, Layout::paper_partial(), DEFAULT_BLOCKING, &mut rng);
             let full = file.sorted_values();
             let config = CvbConfig {
                 buckets: bins,
@@ -213,12 +212,9 @@ fn validation_ablation(scale: &Scale) -> ResultTable {
             let result = cvb::run(&file, &config, &mut rng);
             blocks += result.blocks_sampled as f64;
             tuples += result.tuples_sampled as f64;
-            err += fractional_max_error(
-                result.histogram.separators(),
-                &result.sample_sorted,
-                &full,
-            )
-            .max;
+            err +=
+                fractional_max_error(result.histogram.separators(), &result.sample_sorted, &full)
+                    .max;
         }
         let tr = scale.trials as f64;
         t.row(vec![

@@ -103,12 +103,8 @@ impl Adversary {
         data.sort_unstable();
         let separators: Vec<i64> = (1..k as i64).map(|j| j * w).collect();
         let per_bucket = n / k as u64;
-        let hist = EquiHeightHistogram::from_parts(
-            separators,
-            vec![per_bucket; k],
-            1,
-            k as i64 * w,
-        );
+        let hist =
+            EquiHeightHistogram::from_parts(separators, vec![per_bucket; k], 1, k as i64 * w);
         Self { data, hist, bucket_width }
     }
 
@@ -225,10 +221,8 @@ mod tests {
     #[test]
     fn adversarial_ordering_holds() {
         let t = adversarial_table();
-        let worst: Vec<f64> =
-            t.rows.iter().map(|r| r[2].parse().expect("numeric")).collect();
-        let envelopes: Vec<f64> =
-            t.rows.iter().map(|r| r[3].parse().expect("numeric")).collect();
+        let worst: Vec<f64> = t.rows.iter().map(|r| r[2].parse().expect("numeric")).collect();
+        let envelopes: Vec<f64> = t.rows.iter().map(|r| r[3].parse().expect("numeric")).collect();
         let (avg, var, max) = (worst[0], worst[1], worst[2]);
         assert!(avg > 5.0 * var / 2.0 || avg > 2000.0, "avg = {avg}, var = {var}");
         assert!(var > 5.0 * max, "var = {var}, max = {max}");
@@ -249,11 +243,7 @@ mod tests {
                 .expect("formatted")
                 .parse()
                 .expect("numeric");
-            assert!(
-                (normalized - 0.05).abs() < 0.01,
-                "{}: reported {normalized}",
-                row[0]
-            );
+            assert!((normalized - 0.05).abs() < 0.01, "{}: reported {normalized}", row[0]);
         }
     }
 }

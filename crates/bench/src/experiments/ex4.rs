@@ -48,7 +48,15 @@ fn floor_table() -> ResultTable {
 fn head_to_head() -> ResultTable {
     let mut t = ResultTable::new(
         "Ours (Corollary 1) vs GMP (Theorem 6), γ matched to GMP's own",
-        &["k", "GMP f (floor)", "GMP r", "our f (stricter)", "our r at n=1e12", "our r at n=20M", "GMP at n=20M"],
+        &[
+            "k",
+            "GMP f (floor)",
+            "GMP r",
+            "our f (stricter)",
+            "our r at n=1e12",
+            "our r at n=20M",
+            "GMP at n=20M",
+        ],
     );
     for k in [100usize, 500, 1000] {
         let gmp = GmpBound::new(k, 4.0);

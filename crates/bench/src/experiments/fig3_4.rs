@@ -65,12 +65,8 @@ mod tests {
             .iter()
             .map(|r| r[1].trim_end_matches('%').parse::<f64>().expect("numeric"))
             .collect();
-        assert!(
-            rates.first() > rates.last(),
-            "rate should drop with N: {rates:?}"
-        );
-        let blocks: Vec<f64> =
-            rows.iter().map(|r| r[3].parse::<f64>().expect("numeric")).collect();
+        assert!(rates.first() > rates.last(), "rate should drop with N: {rates:?}");
+        let blocks: Vec<f64> = rows.iter().map(|r| r[3].parse::<f64>().expect("numeric")).collect();
         let max = blocks.iter().cloned().fold(0.0, f64::max);
         let min = blocks.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min < 2.0, "blocks should be ~constant: {blocks:?}");

@@ -26,14 +26,15 @@ pub fn run(scale: &Scale) -> Vec<ResultTable> {
         &["rate", "Z=0", "Z=2", "Z=4"],
     );
 
-    let mut curves = Vec::new();
-    for z in [0.0f64, 2.0, 4.0] {
+    // The three skews are independent experiments with disjoint RNG
+    // streams; run them in parallel, results kept in z order.
+    let curves = samplehist_parallel::par_map(&[0.0f64, 2.0, 4.0], |&z| {
         let spec = DataSpec::Zipf { z, domain: zipf_domain(n) };
         let mut rng = scale.rng(ID, (z * 10.0) as u32);
         let file = build_file(&spec, n, Layout::Random, DEFAULT_BLOCKING, &mut rng);
         let full = sorted_copy(&file);
-        curves.push(error_vs_rate(&file, &full, bins, &RATES, scale, &format!("{ID}/z{z}")));
-    }
+        error_vs_rate(&file, &full, bins, &RATES, scale, &format!("{ID}/z{z}"))
+    });
 
     for (i, &rate) in RATES.iter().enumerate() {
         t.row(vec![

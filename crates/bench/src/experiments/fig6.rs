@@ -51,12 +51,11 @@ mod tests {
     /// total required sampling grows linearly with the bin count.
     #[test]
     fn linear_growth_in_bins() {
-        let scale = Scale { n: 150_000, trials: 2, seed: 17, full: false };
+        let scale = Scale { n: 150_000, trials: 4, seed: 17, full: false };
         let tables = run(&scale);
         let rows = &tables[0].rows;
         assert_eq!(rows.len(), 4);
-        let tuples: Vec<f64> =
-            rows.iter().map(|r| r[2].parse::<f64>().expect("numeric")).collect();
+        let tuples: Vec<f64> = rows.iter().map(|r| r[2].parse::<f64>().expect("numeric")).collect();
         // Weak monotonicity (few trials at small n leave residual noise).
         assert!(
             tuples.windows(2).all(|w| w[1] > 0.8 * w[0]),

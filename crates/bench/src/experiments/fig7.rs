@@ -98,21 +98,16 @@ pub fn run(scale: &Scale) -> Vec<ResultTable> {
                 buckets: bins,
                 target_f: CVB_F,
                 gamma: 0.05,
-                schedule: Schedule::Doubling {
-                    initial_blocks: (file.num_blocks() / 100).max(2),
-                },
+                schedule: Schedule::Doubling { initial_blocks: (file.num_blocks() / 100).max(2) },
                 validation: ValidationMode::AllTuples,
                 max_block_fraction: 1.0,
             };
             let result = cvb::run(&file, &config, &mut rng);
             blocks_sum += result.blocks_sampled as f64;
             tuples_sum += result.tuples_sampled as f64;
-            err_sum += fractional_max_error(
-                result.histogram.separators(),
-                &result.sample_sorted,
-                &full,
-            )
-            .max;
+            err_sum +=
+                fractional_max_error(result.histogram.separators(), &result.sample_sorted, &full)
+                    .max;
             converged_all &= result.converged || result.exhausted;
             file_for_oracle = Some((file, full));
         }
@@ -154,8 +149,7 @@ mod tests {
 
         // CVB reads more of the clustered file than the random one.
         let cvb_rows = &tables[1].rows;
-        let parse_pct =
-            |s: &str| s.trim_end_matches('%').parse::<f64>().expect("numeric");
+        let parse_pct = |s: &str| s.trim_end_matches('%').parse::<f64>().expect("numeric");
         let cvb_random = parse_pct(&cvb_rows[0][2]);
         let cvb_clustered = parse_pct(&cvb_rows[2][2]);
         assert!(

@@ -61,10 +61,8 @@ mod tests {
         let tables = run(&scale);
         let rows = &tables[0].rows;
         assert_eq!(rows.len(), 4);
-        let pages: Vec<f64> =
-            rows.iter().map(|r| r[2].parse::<f64>().expect("numeric")).collect();
-        let tuples: Vec<f64> =
-            rows.iter().map(|r| r[4].parse::<f64>().expect("numeric")).collect();
+        let pages: Vec<f64> = rows.iter().map(|r| r[2].parse::<f64>().expect("numeric")).collect();
+        let tuples: Vec<f64> = rows.iter().map(|r| r[4].parse::<f64>().expect("numeric")).collect();
         assert!(pages.windows(2).all(|w| w[1] > w[0]), "pages grow: {pages:?}");
         // 16B -> 128B is 8x the record size: pages should grow ~8x.
         let growth = pages[3] / pages[0];

@@ -61,7 +61,9 @@ fn one_distribution(
     sorted.clear();
 
     let mut counts = ResultTable::new(
-        format!("{fig_counts}: distinct values vs sampling rate ({label}, N={n}, numDVReal={d_real})"),
+        format!(
+            "{fig_counts}: distinct values vs sampling rate ({label}, N={n}, numDVReal={d_real})"
+        ),
         &["rate", "numDVSamp", "numDVEst (GEE)", "numDVEst (Hybrid)", "numDVReal"],
     );
     let mut errors = ResultTable::new(
@@ -75,8 +77,7 @@ fn one_distribution(
         let mut hybrid = 0.0f64;
         for trial in 0..scale.trials {
             let mut rng = scale.rng(&format!("{ID}/{label}/{rate}"), trial);
-            let g = ((file.num_blocks() as f64 * rate).ceil() as usize)
-                .clamp(1, file.num_blocks());
+            let g = ((file.num_blocks() as f64 * rate).ceil() as usize).clamp(1, file.num_blocks());
             let mut sampler = BlockSampler::new();
             let mut sample = sampler.sample(&file, g, &mut rng);
             sample.sort_unstable();

@@ -89,21 +89,13 @@ pub fn run(scale: &Scale) -> Vec<ResultTable> {
 /// The cross-validation test of the paper's step 4b/5: draw `s` tuples,
 /// partition them by `h`'s separators, pass iff the max count deviation
 /// is below `f·s/k`.
-fn validation_passes(
-    h: &EquiHeightHistogram,
-    data: &[i64],
-    s: usize,
-    rng: &mut impl Rng,
-) -> bool {
+fn validation_passes(h: &EquiHeightHistogram, data: &[i64], s: usize, rng: &mut impl Rng) -> bool {
     let sample = sampling::with_replacement(data, s, rng);
     let mut sorted = sample;
     sorted.sort_unstable();
     let counts = samplehist_core::histogram::bucket_counts(&sorted, h.separators());
     let ideal = s as f64 / K as f64;
-    let worst = counts
-        .iter()
-        .map(|&c| (c as f64 - ideal).abs())
-        .fold(0.0f64, f64::max);
+    let worst = counts.iter().map(|&c| (c as f64 - ideal).abs()).fold(0.0f64, f64::max);
     worst < F * s as f64 / K as f64
 }
 

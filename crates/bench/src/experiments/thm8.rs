@@ -132,20 +132,11 @@ mod tests {
         let scale = Scale { n: 300_000, trials: 1, seed: 41, full: false };
         let t = wall_table(&scale);
         // Recover the floor from the title.
-        let floor: f64 = t
-            .title
-            .split("√d_high = ")
-            .nth(1)
-            .expect("title formatted")
-            .parse()
-            .expect("numeric");
+        let floor: f64 =
+            t.title.split("√d_high = ").nth(1).expect("title formatted").parse().expect("numeric");
         for row in &t.rows {
             let worst: f64 = row[4].parse().expect("numeric");
-            assert!(
-                worst + 0.6 >= floor,
-                "{} beat the wall: {worst} < {floor}",
-                row[0]
-            );
+            assert!(worst + 0.6 >= floor, "{} beat the wall: {worst} < {floor}", row[0]);
         }
     }
 

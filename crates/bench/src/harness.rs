@@ -20,6 +20,7 @@
 use samplehist_core::error::fractional_max_error;
 use samplehist_core::histogram::EquiHeightHistogram;
 use samplehist_core::sampling::{BlockPermutation, BlockSource};
+use samplehist_parallel as parallel;
 use samplehist_storage::HeapFile;
 
 use crate::scale::Scale;
@@ -57,29 +58,39 @@ pub fn error_vs_rate(
     label: &str,
 ) -> Vec<ErrorCurvePoint> {
     assert!(!rates.is_empty(), "need at least one rate");
-    assert!(
-        rates.windows(2).all(|w| w[0] < w[1]),
-        "rates must be strictly ascending"
-    );
+    assert!(rates.windows(2).all(|w| w[0] < w[1]), "rates must be strictly ascending");
     assert!(
         rates.iter().all(|&r| r > 0.0 && r <= 1.0),
         "rates must be sampling fractions in (0,1]"
     );
     let n = file.num_tuples();
-    let mut acc: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); rates.len()];
 
-    for trial in 0..scale.trials {
+    // Trials are independent given their RNG stream (`scale.rng(label,
+    // trial)`), so they run in parallel; the per-trial results come back
+    // in trial order and are reduced sequentially, making the output
+    // bit-identical at any thread count.
+    let trials: Vec<u32> = (0..scale.trials).collect();
+    let per_trial: Vec<Vec<(f64, f64, f64)>> = parallel::par_map(&trials, |&trial| {
         let mut rng = scale.rng(label, trial);
         let mut permutation = BlockPermutation::new(file, &mut rng);
         let mut sample: Vec<i64> = Vec::new();
-        for (i, &rate) in rates.iter().enumerate() {
-            let target = (rate * n as f64).ceil() as usize;
-            grow_to(&mut sample, target, &mut permutation, file);
-            let hist = EquiHeightHistogram::from_sorted_sample(&sample, buckets, n);
-            let err = fractional_max_error(hist.separators(), &sample, full_sorted).max;
-            acc[i].0 += sample.len() as f64;
-            acc[i].1 += permutation.drawn() as f64;
-            acc[i].2 += err;
+        rates
+            .iter()
+            .map(|&rate| {
+                let target = (rate * n as f64).ceil() as usize;
+                grow_to(&mut sample, target, &mut permutation, file);
+                let hist = EquiHeightHistogram::from_sorted_sample(&sample, buckets, n);
+                let err = fractional_max_error(hist.separators(), &sample, full_sorted).max;
+                (sample.len() as f64, permutation.drawn() as f64, err)
+            })
+            .collect()
+    });
+    let mut acc: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); rates.len()];
+    for trial_points in per_trial {
+        for (a, p) in acc.iter_mut().zip(trial_points) {
+            a.0 += p.0;
+            a.1 += p.1;
+            a.2 += p.2;
         }
     }
 
@@ -126,32 +137,38 @@ pub fn required_sampling(
 ) -> RequiredSampling {
     assert!(target_f > 0.0 && target_f <= 1.0, "target f must be in (0,1]");
     let n = file.num_tuples();
-    let mut tuples_sum = 0.0f64;
-    let mut blocks_sum = 0.0f64;
-    let mut reached = 0u32;
 
-    for trial in 0..scale.trials {
+    // Same parallel-trials scheme as `error_vs_rate`: independent RNG
+    // stream per trial, sequential reduction in trial order.
+    let trials: Vec<u32> = (0..scale.trials).collect();
+    let per_trial: Vec<(f64, f64, bool)> = parallel::par_map(&trials, |&trial| {
         let mut rng = scale.rng(label, trial);
         let mut permutation = BlockPermutation::new(file, &mut rng);
         let mut sample: Vec<i64> = Vec::new();
         // Start near the cheapest size that could plausibly certify the
         // target (a few tuples per bucket), then grow geometrically.
         let mut target = (buckets as u64 * 4).min(n) as usize;
-        loop {
+        let hit = loop {
             grow_to(&mut sample, target, &mut permutation, file);
             let hist = EquiHeightHistogram::from_sorted_sample(&sample, buckets, n);
             let err = fractional_max_error(hist.separators(), &sample, full_sorted).max;
             if err <= target_f {
-                reached += 1;
-                break;
+                break true;
             }
             if permutation.remaining() == 0 {
-                break; // full scan: cost is the whole file
+                break false; // full scan: cost is the whole file
             }
             target = ((target as f64) * 1.12).ceil() as usize;
-        }
-        tuples_sum += sample.len() as f64;
-        blocks_sum += permutation.drawn() as f64;
+        };
+        (sample.len() as f64, permutation.drawn() as f64, hit)
+    });
+    let mut tuples_sum = 0.0f64;
+    let mut blocks_sum = 0.0f64;
+    let mut reached = 0u32;
+    for (tuples, blocks, hit) in per_trial {
+        tuples_sum += tuples;
+        blocks_sum += blocks;
+        reached += hit as u32;
     }
 
     let t = scale.trials as f64;

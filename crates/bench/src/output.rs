@@ -75,7 +75,11 @@ impl ResultTable {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{id}.csv"));
         let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "{}", self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            f,
+            "{}",
+            self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))?;
         }

@@ -21,11 +21,7 @@ pub fn theorem4_sample_size(n: u64, k: usize, delta: f64, gamma: f64) -> f64 {
     let n = n as f64;
     let k = k as f64;
     assert!(delta > 0.0, "δ must be positive");
-    assert!(
-        delta <= n / k + 1e-9,
-        "Theorem 4 requires δ ≤ n/k (δ = {delta}, n/k = {})",
-        n / k
-    );
+    assert!(delta <= n / k + 1e-9, "Theorem 4 requires δ ≤ n/k (δ = {delta}, n/k = {})", n / k);
     4.0 * n * n * (2.0 * n / gamma).ln() / (k * delta * delta)
 }
 
@@ -204,15 +200,9 @@ mod tests {
         let gamma = 0.01;
         for n in [10_000_000u64, 100_000_000, 1_000_000_000] {
             let r1 = corollary1_sample_size(500, 0.2, n, gamma);
-            assert!(
-                (0.9e6..1.4e6).contains(&r1),
-                "k=500,f=0.2,n={n}: r = {r1:.0} not ~1M"
-            );
+            assert!((0.9e6..1.4e6).contains(&r1), "k=500,f=0.2,n={n}: r = {r1:.0} not ~1M");
             let r2 = corollary1_sample_size(100, 0.1, n, gamma);
-            assert!(
-                (0.75e6..1.1e6).contains(&r2),
-                "k=100,f=0.1,n={n}: r = {r2:.0} not ~800K"
-            );
+            assert!((0.75e6..1.1e6).contains(&r2), "k=100,f=0.1,n={n}: r = {r2:.0} not ~800K");
         }
     }
 

@@ -51,11 +51,7 @@ impl WorstCaseFactors {
         assert!(k > 0, "need at least one bucket");
         assert!(t > 0.0, "query size parameter t must be positive");
         let k = k as f64;
-        Self {
-            avg: 1.0 + f * k / 4.0,
-            var: 1.0 + f * (k * t / 8.0).sqrt(),
-            max: 1.0 + f,
-        }
+        Self { avg: 1.0 + f * k / 4.0, var: 1.0 + f * (k * t / 8.0).sqrt(), max: 1.0 + f }
     }
 }
 

@@ -30,10 +30,7 @@
 pub fn theorem8_error_floor(n: u64, r: u64, gamma: f64) -> f64 {
     assert!(r > 0 && r <= n, "need 0 < r ≤ n");
     assert!(gamma < 1.0, "γ must be below 1");
-    assert!(
-        gamma > (-(r as f64)).exp(),
-        "Theorem 8 requires γ > e^(−r), got γ = {gamma}"
-    );
+    assert!(gamma > (-(r as f64)).exp(), "Theorem 8 requires γ > e^(−r), got γ = {gamma}");
     (n as f64 * (1.0 / gamma).ln() / r as f64).sqrt()
 }
 

@@ -18,28 +18,45 @@ pub struct FrequencyProfile {
     distinct: u64,
 }
 
+/// Sorted samples shorter than this are profiled serially.
+const PAR_PROFILE_MIN: usize = 1 << 16;
+
 impl FrequencyProfile {
     /// Build the profile of a **sorted** sample.
+    ///
+    /// Large samples are profiled chunk-parallel: the sample is cut at
+    /// run-aligned boundaries (a boundary never splits a run of equal
+    /// values, so every run is counted whole by exactly one chunk), each
+    /// chunk's run lengths are tallied independently, and the per-chunk
+    /// multiplicity maps are merged in chunk order. The result is
+    /// bit-identical to the serial tally at any thread count.
     ///
     /// # Panics
     /// If the sample is empty or not sorted.
     pub fn from_sorted_sample(sorted: &[i64]) -> Self {
+        Self::from_sorted_sample_threads(samplehist_parallel::num_threads(), sorted)
+    }
+
+    /// [`Self::from_sorted_sample`] with an explicit thread budget
+    /// (`threads <= 1` runs serially) — used by the determinism tests.
+    pub fn from_sorted_sample_threads(threads: usize, sorted: &[i64]) -> Self {
         assert!(!sorted.is_empty(), "cannot profile an empty sample");
         debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sample must be sorted");
 
-        // First pass: run lengths -> multiplicity counts, via a scratch
-        // map keyed by multiplicity.
-        let mut by_multiplicity: std::collections::BTreeMap<u64, u64> =
-            std::collections::BTreeMap::new();
-        let mut i = 0usize;
-        while i < sorted.len() {
-            let v = sorted[i];
-            let start = i;
-            while i < sorted.len() && sorted[i] == v {
-                i += 1;
+        let by_multiplicity = if threads <= 1 || sorted.len() < PAR_PROFILE_MIN {
+            tally_runs(sorted)
+        } else {
+            let segments = run_aligned_segments(sorted, threads);
+            let partials =
+                samplehist_parallel::par_map_threads(threads, &segments, |seg| tally_runs(seg));
+            let mut merged = std::collections::BTreeMap::new();
+            for partial in partials {
+                for (j, f) in partial {
+                    *merged.entry(j).or_insert(0) += f;
+                }
             }
-            *by_multiplicity.entry((i - start) as u64).or_insert(0) += 1;
-        }
+            merged
+        };
         let freqs: Vec<(u64, u64)> = by_multiplicity.into_iter().collect();
         let sample_size = freqs.iter().map(|&(j, f)| j * f).sum();
         let distinct = freqs.iter().map(|&(_, f)| f).sum();
@@ -71,10 +88,7 @@ impl FrequencyProfile {
 
     /// `f_j`: distinct values appearing exactly `j` times in the sample.
     pub fn f(&self, j: u64) -> u64 {
-        self.freqs
-            .binary_search_by_key(&j, |&(m, _)| m)
-            .map(|idx| self.freqs[idx].1)
-            .unwrap_or(0)
+        self.freqs.binary_search_by_key(&j, |&(m, _)| m).map(|idx| self.freqs[idx].1).unwrap_or(0)
     }
 
     /// Singletons, `f_1` — the quantity every estimator pivots on.
@@ -138,9 +152,83 @@ impl FrequencyProfile {
     }
 }
 
+/// Run lengths of a sorted slice → multiplicity → count-of-runs map.
+fn tally_runs(sorted: &[i64]) -> std::collections::BTreeMap<u64, u64> {
+    let mut by_multiplicity = std::collections::BTreeMap::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let v = sorted[i];
+        let start = i;
+        while i < sorted.len() && sorted[i] == v {
+            i += 1;
+        }
+        *by_multiplicity.entry((i - start) as u64).or_insert(0) += 1;
+    }
+    by_multiplicity
+}
+
+/// Cut `sorted` into at most `pieces` contiguous segments whose boundaries
+/// never split a run of equal values. Boundaries depend only on the data
+/// and `pieces` — not on scheduling — so parallel profiling stays
+/// deterministic.
+fn run_aligned_segments(sorted: &[i64], pieces: usize) -> Vec<&[i64]> {
+    let mut segments = Vec::with_capacity(pieces);
+    let target = sorted.len().div_ceil(pieces.max(1));
+    let mut start = 0usize;
+    while start < sorted.len() {
+        let mut end = (start + target).min(sorted.len());
+        if end < sorted.len() {
+            // Push the cut to the end of the run containing it.
+            let run_value = sorted[end - 1];
+            end += sorted[end..].partition_point(|&v| v == run_value);
+        }
+        segments.push(&sorted[start..end]);
+        start = end;
+    }
+    segments
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_profile_is_bit_identical_to_serial() {
+        // Skewed sorted data with runs that straddle naive chunk cuts.
+        let mut sorted: Vec<i64> = Vec::new();
+        let mut x = 0x1234_5678u64 | 1;
+        let mut v = 0i64;
+        while sorted.len() < 200_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let run = 1 + (x % 19) * (x % 7) * (x % 1009) / 37;
+            sorted.extend(std::iter::repeat(v).take(run as usize));
+            v += 1;
+        }
+        let serial = FrequencyProfile::from_sorted_sample_threads(1, &sorted);
+        for threads in [2, 3, 4, 7, 8, 64] {
+            assert_eq!(
+                FrequencyProfile::from_sorted_sample_threads(threads, &sorted),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_aligned_segments_never_split_runs() {
+        let sorted = vec![1i64, 1, 1, 2, 2, 3, 3, 3, 3, 3, 4];
+        for pieces in 1..=8 {
+            let segs = run_aligned_segments(&sorted, pieces);
+            assert_eq!(segs.iter().map(|s| s.len()).sum::<usize>(), sorted.len());
+            for pair in segs.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                assert!(!a.is_empty() && !b.is_empty());
+                assert_ne!(a.last(), b.first(), "pieces={pieces} split a run");
+            }
+        }
+    }
 
     #[test]
     fn profile_of_mixed_sample() {

@@ -140,9 +140,7 @@ mod tests {
             let mut sample: Vec<i64> = idx.iter().map(|&i| population[i]).collect();
             sample.sort_unstable();
             let p = FrequencyProfile::from_sorted_sample(&sample);
-            total += Goodman
-                .try_estimate(&p, n as u64)
-                .expect("small case must be stable");
+            total += Goodman.try_estimate(&p, n as u64).expect("small case must be stable");
             count += 1;
 
             // Next combination.

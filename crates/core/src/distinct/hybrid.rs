@@ -87,12 +87,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         let d_true = 5_000i64;
         let copies = 50usize;
-        let data: Vec<i64> =
-            (0..d_true).flat_map(|v| std::iter::repeat(v).take(copies)).collect();
+        let data: Vec<i64> = (0..d_true).flat_map(|v| std::iter::repeat(v).take(copies)).collect();
         let n = data.len() as u64;
         let r = (n / 50) as usize; // 2% sample
-        let mut sample: Vec<i64> =
-            (0..r).map(|_| data[rng.gen_range(0..data.len())]).collect();
+        let mut sample: Vec<i64> = (0..r).map(|_| data[rng.gen_range(0..data.len())]).collect();
         sample.sort_unstable();
         let p = FrequencyProfile::from_sorted_sample(&sample);
 

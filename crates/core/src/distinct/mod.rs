@@ -94,9 +94,9 @@ mod tests {
     #[test]
     fn all_estimators_feasible_range() {
         let mut samples: Vec<Vec<i64>> = vec![
-            (0..100).collect(),                                   // all distinct
-            vec![1; 100],                                         // one value
-            (0..50).flat_map(|v| [v, v]).collect(),               // all pairs
+            (0..100).collect(),                                        // all distinct
+            vec![1; 100],                                              // one value
+            (0..50).flat_map(|v| [v, v]).collect(),                    // all pairs
             (0..10).flat_map(|v| vec![v; (v + 1) as usize]).collect(), // skewed
         ];
         for sample in &mut samples {

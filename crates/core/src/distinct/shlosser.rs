@@ -35,14 +35,12 @@ impl DistinctEstimator for Shlosser {
             // just underflows harmlessly to 0 for huge exponents.
             let pow_i = one_minus_q.powi(i.min(i32::MAX as u64) as i32);
             numerator += pow_i * f_i;
-            let pow_im1 = if i == 1 { 1.0 } else { one_minus_q.powi((i - 1).min(i32::MAX as u64) as i32) };
+            let pow_im1 =
+                if i == 1 { 1.0 } else { one_minus_q.powi((i - 1).min(i32::MAX as u64) as i32) };
             denominator += i as f64 * q * pow_im1 * f_i;
         }
-        let e = if denominator > 0.0 {
-            d + profile.f1() as f64 * numerator / denominator
-        } else {
-            d
-        };
+        let e =
+            if denominator > 0.0 { d + profile.f1() as f64 * numerator / denominator } else { d };
         clamp_feasible(e, profile, n)
     }
 }

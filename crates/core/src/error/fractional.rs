@@ -88,10 +88,7 @@ pub fn fractional_max_error(
 ) -> FractionalReport {
     assert!(!reference_sorted.is_empty(), "reference multiset must be non-empty");
     assert!(!observed_sorted.is_empty(), "observed multiset must be non-empty");
-    assert!(
-        separators.windows(2).all(|w| w[0] <= w[1]),
-        "separators must be non-decreasing"
-    );
+    assert!(separators.windows(2).all(|w| w[0] <= w[1]), "separators must be non-decreasing");
 
     let mut distinct: Vec<i64> = separators.to_vec();
     distinct.dedup();
@@ -157,7 +154,8 @@ mod tests {
         let reference: Vec<i64> = (1..=20).collect();
         let h = EquiHeightHistogram::from_sorted(&reference, 4);
         // Observed population: skewed toward small values.
-        let observed: Vec<i64> = (1..=20).flat_map(|v| std::iter::repeat(v).take(if v <= 5 { 10 } else { 1 })).collect();
+        let observed: Vec<i64> =
+            (1..=20).flat_map(|v| std::iter::repeat(v).take(if v <= 5 { 10 } else { 1 })).collect();
         let rep = fractional_max_error(h.separators(), &reference, &observed);
 
         // Definition 1's relative f on the observed data:

@@ -103,12 +103,8 @@ mod tests {
     /// Theorem 2 direction: Δmax dominates both aggregates on any counts.
     #[test]
     fn theorem_2_ordering_on_examples() {
-        let cases: [&[u64]; 4] = [
-            &[10, 10, 10, 10],
-            &[0, 40],
-            &[1, 2, 3, 4, 5, 6, 7, 8],
-            &[100, 0, 0, 0, 0, 0],
-        ];
+        let cases: [&[u64]; 4] =
+            [&[10, 10, 10, 10], &[0, 40], &[1, 2, 3, 4, 5, 6, 7, 8], &[100, 0, 0, 0, 0, 0]];
         for counts in cases {
             let n: u64 = counts.iter().sum();
             let s = summarize_counts(counts, n);

@@ -121,11 +121,8 @@ mod tests {
         mid.sort_unstable();
         let mut high: Vec<i64> = (0..10).flat_map(|v| std::iter::repeat(v).take(10)).collect();
         high.sort_unstable();
-        let (dl, dm, dh) = (
-            duplication_density(&low),
-            duplication_density(&mid),
-            duplication_density(&high),
-        );
+        let (dl, dm, dh) =
+            (duplication_density(&low), duplication_density(&mid), duplication_density(&high));
         assert!(dl < dm && dm < dh, "{dl} {dm} {dh}");
     }
 

@@ -53,11 +53,7 @@ impl<'a> RangeEstimator<'a> {
         } else {
             h.separators()[j - 1]
         };
-        let upper = if j == h.num_buckets() - 1 {
-            h.max_value()
-        } else {
-            h.separators()[j]
-        };
+        let upper = if j == h.num_buckets() - 1 { h.max_value() } else { h.separators()[j] };
         let fraction = if upper <= lower {
             // Degenerate bucket (single duplicated value): all-or-nothing.
             if t >= upper {

@@ -180,12 +180,8 @@ impl CompressedHistogram {
         if x > y {
             return 0.0;
         }
-        let heavy: u64 = self
-            .high_freq
-            .iter()
-            .filter(|&&(v, _)| v >= x && v <= y)
-            .map(|&(_, c)| c)
-            .sum();
+        let heavy: u64 =
+            self.high_freq.iter().filter(|&&(v, _)| v >= x && v <= y).map(|&(_, c)| c).sum();
         let light = match &self.residual {
             None => 0.0,
             Some(h) => RangeEstimator::new(h).estimate_range(x, y),
@@ -310,11 +306,7 @@ mod tests {
         assert_eq!(h.total(), 10_000);
         let heavy = h.high_frequency_values();
         let seven = heavy.iter().find(|&&(v, _)| v == 7).expect("7 is heavy");
-        assert!(
-            (seven.1 as f64 - 5_000.0).abs() < 900.0,
-            "scaled heavy count = {}",
-            seven.1
-        );
+        assert!((seven.1 as f64 - 5_000.0).abs() < 900.0, "scaled heavy count = {}", seven.1);
         // Range over everything ≈ n.
         assert!((h.estimate_range(i64::MIN, i64::MAX) - 10_000.0).abs() < 600.0);
     }

@@ -2,7 +2,11 @@
 
 use std::ops::Bound;
 
+use samplehist_parallel as parallel;
+
 use super::bucket_counts;
+use super::radix;
+use super::selection;
 
 /// An equi-height *k*-histogram (paper Section 2.1).
 ///
@@ -108,11 +112,63 @@ impl EquiHeightHistogram {
         }
     }
 
-    /// Convenience wrapper: sorts the sample, then calls
-    /// [`Self::from_sorted_sample`].
+    /// Build the perfect equi-height k-histogram from **unsorted** data,
+    /// choosing the cheapest construction path by input shape:
+    ///
+    /// * large inputs with few separators (see
+    ///   [`selection::selection_profitable`]) resolve the `k−1` separator
+    ///   ranks and their `count_le` by radix counting
+    ///   ([`radix`]) — ~3 linear passes, no sort;
+    /// * everything else is (parallel-)sorted and handed to
+    ///   [`Self::from_sorted`].
+    ///
+    /// All paths — this one, [`Self::from_sorted`] after a sort, and the
+    /// comparison-based [`selection::select_separators`] — produce
+    /// **byte-identical** histograms (property-tested in
+    /// `crates/core/tests/properties.rs`): separators are order
+    /// statistics, counts follow the order-independent domain rule.
+    ///
+    /// # Panics
+    /// If `values` is empty or `k == 0`.
+    pub fn from_unsorted(mut values: Vec<i64>, k: usize) -> Self {
+        assert!(k > 0, "a histogram needs at least one bucket");
+        assert!(!values.is_empty(), "cannot build a histogram of an empty value set");
+
+        if selection::selection_profitable(values.len(), k) {
+            let total = values.len() as u64;
+            let (separators, counts, min_value, max_value) = resolve_via_radix(&values, k);
+            Self { separators, counts, total, min_value, max_value }
+        } else {
+            parallel::par_sort_unstable(&mut values);
+            Self::from_sorted(&values, k)
+        }
+    }
+
+    /// Convenience wrapper over [`Self::from_sorted_sample`] accepting an
+    /// unsorted sample. Routes through multi-rank selection instead of a
+    /// sort when the sample shape makes that profitable (same rule and
+    /// same byte-identical guarantee as [`Self::from_unsorted`]).
     pub fn from_unsorted_sample(mut sample: Vec<i64>, k: usize, population_total: u64) -> Self {
-        sample.sort_unstable();
-        Self::from_sorted_sample(&sample, k, population_total)
+        assert!(k > 0, "a histogram needs at least one bucket");
+        assert!(!sample.is_empty(), "cannot build a histogram from an empty sample");
+        assert!(
+            population_total >= sample.len() as u64,
+            "population ({population_total}) smaller than sample ({})",
+            sample.len()
+        );
+
+        if selection::selection_profitable(sample.len(), k) {
+            let (separators, sample_counts, min_value, max_value) = resolve_via_radix(&sample, k);
+            let counts = scale_counts_largest_remainder(
+                &sample_counts,
+                sample.len() as u64,
+                population_total,
+            );
+            Self { separators, counts, total: population_total, min_value, max_value }
+        } else {
+            parallel::par_sort_unstable(&mut sample);
+            Self::from_sorted_sample(&sample, k, population_total)
+        }
     }
 
     /// Assemble a histogram from raw parts. Used by tests and by the
@@ -128,15 +184,8 @@ impl EquiHeightHistogram {
         max_value: i64,
     ) -> Self {
         assert!(!counts.is_empty(), "need at least one bucket");
-        assert_eq!(
-            separators.len() + 1,
-            counts.len(),
-            "k buckets require k-1 separators"
-        );
-        assert!(
-            separators.windows(2).all(|w| w[0] <= w[1]),
-            "separators must be non-decreasing"
-        );
+        assert_eq!(separators.len() + 1, counts.len(), "k buckets require k-1 separators");
+        assert!(separators.windows(2).all(|w| w[0] <= w[1]), "separators must be non-decreasing");
         assert!(min_value <= max_value, "min must not exceed max");
         if let (Some(&first), Some(&last)) = (separators.first(), separators.last()) {
             assert!(
@@ -194,11 +243,7 @@ impl EquiHeightHistogram {
     pub fn buckets(&self) -> impl Iterator<Item = BucketRef> + '_ {
         (0..self.num_buckets()).map(move |j| BucketRef {
             index: j,
-            lower: if j == 0 {
-                Bound::Unbounded
-            } else {
-                Bound::Excluded(self.separators[j - 1])
-            },
+            lower: if j == 0 { Bound::Unbounded } else { Bound::Excluded(self.separators[j - 1]) },
             upper: if j == self.num_buckets() - 1 {
                 Bound::Unbounded
             } else {
@@ -223,6 +268,27 @@ impl EquiHeightHistogram {
             max_value: *sorted.last().expect("non-empty"),
         }
     }
+}
+
+/// Sortless construction core: resolve the separator ranks of `values`
+/// by radix counting and turn the returned `(value, count_le)` pairs
+/// into `(separators, bucket counts, min, max)` — the same
+/// consecutive-difference formula [`bucket_counts`] applies to sorted
+/// data, so the result is byte-identical to the sort path.
+fn resolve_via_radix(values: &[i64], k: usize) -> (Vec<i64>, Vec<u64>, i64, i64) {
+    let ranks = selection::separator_ranks(values.len(), k);
+    let resolution = radix::resolve_ranks(values, &ranks);
+    let mut separators = Vec::with_capacity(k - 1);
+    let mut counts = Vec::with_capacity(k);
+    let mut prev = 0u64;
+    for (v, le) in resolution.entries {
+        separators.push(v);
+        debug_assert!(le >= prev);
+        counts.push(le - prev);
+        prev = le;
+    }
+    counts.push(values.len() as u64 - prev);
+    (separators, counts, resolution.min, resolution.max)
 }
 
 /// Separators of the equi-height k-histogram of `sorted`: the values at
@@ -407,6 +473,57 @@ mod tests {
     fn sample_larger_than_population_rejected() {
         let sample: Vec<i64> = (0..10).collect();
         let _ = EquiHeightHistogram::from_sorted_sample(&sample, 2, 5);
+    }
+
+    /// Deterministic duplicate-heavy multiset for path-equivalence tests.
+    fn noisy(n: usize, domain: u64) -> Vec<i64> {
+        let mut x = 0x9E37_79B9u64 | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % domain) as i64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_unsorted_matches_sorted_path_on_both_routes() {
+        // Small input: routed through sort. Large input: routed through
+        // selection. Either way the result must equal from_sorted exactly.
+        for (n, k) in [(100usize, 7usize), (20_000, 64), (20_000, 599)] {
+            let data = noisy(n, 97);
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let reference = EquiHeightHistogram::from_sorted(&sorted, k);
+            assert_eq!(EquiHeightHistogram::from_unsorted(data, k), reference, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn from_unsorted_sample_matches_sorted_sample_on_both_routes() {
+        for (n, k) in [(50usize, 5usize), (20_000, 100)] {
+            let data = noisy(n, 41);
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let pop = (2 * n + 3) as u64;
+            let reference = EquiHeightHistogram::from_sorted_sample(&sorted, k, pop);
+            assert_eq!(
+                EquiHeightHistogram::from_unsorted_sample(data, k, pop),
+                reference,
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn from_unsorted_sample_rejects_small_population_on_selection_path() {
+        // Large enough to take the selection route: the population assert
+        // must still fire with the same message as the sorted path.
+        let sample: Vec<i64> = (0..20_000).collect();
+        let _ = EquiHeightHistogram::from_unsorted_sample(sample, 10, 100);
     }
 
     #[test]

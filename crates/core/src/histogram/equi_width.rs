@@ -88,11 +88,7 @@ impl EquiWidthHistogram {
         let j = Self::bucket_index(self.min, self.max, self.counts.len(), t);
         let below: u64 = self.counts[..j].iter().sum();
         let (lo, hi) = self.bucket_bounds(j);
-        let fraction = if hi > lo {
-            (t - lo + 1) as f64 / (hi - lo + 1) as f64
-        } else {
-            1.0
-        };
+        let fraction = if hi > lo { (t - lo + 1) as f64 / (hi - lo + 1) as f64 } else { 1.0 };
         below as f64 + fraction * self.counts[j] as f64
     }
 

@@ -29,12 +29,15 @@ mod compressed;
 mod equi_height;
 mod equi_width;
 mod maintained;
+mod radix;
+pub mod selection;
 
 pub use builder::HistogramBuilder;
 pub use compressed::CompressedHistogram;
 pub use equi_height::{BucketRef, EquiHeightHistogram};
 pub use equi_width::EquiWidthHistogram;
 pub use maintained::MaintainedHistogram;
+pub use selection::{bucket_counts_unsorted, select_separators, selection_profitable};
 
 /// Number of elements of the **sorted** slice that are `≤ v`.
 ///
@@ -56,10 +59,7 @@ pub fn count_lt(sorted: &[i64], v: i64) -> usize {
 /// histogram defined by `separators` (which must be non-decreasing). The
 /// result has `separators.len() + 1` entries and sums to `sorted.len()`.
 pub fn bucket_counts(sorted: &[i64], separators: &[i64]) -> Vec<u64> {
-    debug_assert!(
-        separators.windows(2).all(|w| w[0] <= w[1]),
-        "separators must be non-decreasing"
-    );
+    debug_assert!(separators.windows(2).all(|w| w[0] <= w[1]), "separators must be non-decreasing");
     let mut counts = Vec::with_capacity(separators.len() + 1);
     let mut prev = 0usize;
     for &s in separators {

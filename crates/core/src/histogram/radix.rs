@@ -1,0 +1,287 @@
+//! Radix-count rank resolution: the order statistics (and their
+//! `count_le`) of an unsorted multiset in O(n) counting passes.
+//!
+//! Equi-height construction needs exactly two things from the data: the
+//! values at the `k−1` separator ranks, and for each such value the
+//! global count of elements `≤` it (bucket counts are consecutive
+//! differences of those counts). Comparison-based selection answers this
+//! in O(n log k), but a counting argument does better: one pass
+//! histograms the values into at most `2^RADIX_BITS` equal-width slices
+//! of `[min, max]`, prefix sums locate the slice every target rank falls
+//! in, and only the slices that actually contain a rank are gathered and
+//! resolved further (small slices by sorting, oversized ones by
+//! recursing with a narrower value range — the span shrinks by
+//! `RADIX_BITS` bits per level, bounding the depth at ⌈64/RADIX_BITS⌉).
+//! Everything outside those slices is never touched again, so the total
+//! is ~3 linear passes plus work proportional to the gathered residue.
+//!
+//! When a (sub)range is narrow enough for one counter per value
+//! (`shift == 0`, granted up to `2^EXACT_BITS` counters), the counting
+//! histogram *is* the exact value histogram and every rank resolves by
+//! prefix sums alone — duplicate-heavy columns, the paper's main
+//! concern, finish in exactly two passes with no gather at all.
+//!
+//! The counting pass is chunk-parallel with a sequential reduce and the
+//! per-slice resolutions fan out over [`samplehist_parallel::par_map`],
+//! so results are bit-identical at any thread count.
+
+use samplehist_parallel as parallel;
+
+use super::selection;
+
+/// Slice-index width per recursion level (2^16 = 65536 counters, 512 KB:
+/// L2-resident, and narrow enough that a slice of a 10⁷-element column
+/// holds only ~150 elements — the gathered residue rounds to nothing).
+const RADIX_BITS: u32 = 16;
+
+/// Spans up to 2^EXACT_BITS get one counter per value (shift == 0), so
+/// every rank resolves from prefix sums with no gather pass. Worth 4×
+/// the counter memory of the sliced path: on skewed data the quantile
+/// ranks sit in heavy-mass slices, so the gather would touch most of
+/// the column.
+const EXACT_BITS: u32 = RADIX_BITS + 2;
+
+/// Gathered slices at least this large recurse instead of sorting.
+const RECURSE_MIN: usize = 1 << 13;
+
+/// Value arrays shorter than this are counted serially.
+const PAR_COUNT_MIN: usize = 1 << 16;
+
+/// Resolution of a batch of rank queries against one multiset.
+#[derive(Debug)]
+pub(super) struct RankResolution {
+    /// Per requested rank, in request order: the value at that rank of
+    /// the sorted multiset and the global `count_le` of that value.
+    pub entries: Vec<(i64, u64)>,
+    /// Smallest element (free by-product of the range pass).
+    pub min: i64,
+    /// Largest element.
+    pub max: i64,
+}
+
+/// Resolve the values (and their global `count_le`) at the given
+/// ascending 0-based `ranks` of unsorted `values`.
+///
+/// # Panics
+/// If `values` is empty (ranks may be empty; they must be ascending and
+/// in range, which debug asserts check).
+pub(super) fn resolve_ranks(values: &[i64], ranks: &[usize]) -> RankResolution {
+    assert!(!values.is_empty(), "cannot resolve ranks of an empty value set");
+    debug_assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "ranks must be ascending");
+    debug_assert!(ranks.iter().all(|&r| r < values.len()), "ranks must be in range");
+    let (min, max) = selection::min_max(values);
+    let entries = resolve_in_range(values, ranks, min, max);
+    RankResolution { entries, min, max }
+}
+
+/// Recursive core: `values` are all within `[min, max]`.
+fn resolve_in_range(values: &[i64], ranks: &[usize], min: i64, max: i64) -> Vec<(i64, u64)> {
+    if ranks.is_empty() {
+        return Vec::new();
+    }
+    if min == max {
+        return vec![(min, values.len() as u64); ranks.len()];
+    }
+    let span = max.abs_diff(min);
+    let bits = u64::BITS - span.leading_zeros();
+    let shift = if bits <= EXACT_BITS { 0 } else { bits - RADIX_BITS };
+    let slices = ((span >> shift) + 1) as usize;
+
+    // Counting pass (chunk-parallel, reduced in chunk order).
+    let counts = count_slices(values, min, shift, slices);
+    // Exclusive prefix sums: slice s spans sorted positions
+    // prefix[s] .. prefix[s] + counts[s].
+    let mut prefix = Vec::with_capacity(slices + 1);
+    let mut acc = 0u64;
+    for &c in &counts {
+        prefix.push(acc);
+        acc += c;
+    }
+    prefix.push(acc);
+
+    if shift == 0 {
+        // One slice per distinct value: ranks resolve by prefix alone.
+        let mut out = Vec::with_capacity(ranks.len());
+        let mut s = 0usize;
+        for &r in ranks {
+            while prefix[s + 1] <= r as u64 {
+                s += 1;
+            }
+            let value = min + i64::try_from(s as u64).expect("span below shift-0 fits i64");
+            out.push((value, prefix[s + 1]));
+        }
+        return out;
+    }
+
+    // Group the (ascending) ranks by the slice they fall in.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut s = 0usize;
+    for &r in ranks {
+        while prefix[s + 1] <= r as u64 {
+            s += 1;
+        }
+        let local = r - prefix[s] as usize;
+        match groups.last_mut() {
+            Some((slice, locals)) if *slice == s => locals.push(local),
+            _ => groups.push((s, vec![local])),
+        }
+    }
+
+    // Gather only the interesting slices, exact capacity from the counts.
+    let mut slot_of = vec![u32::MAX; slices];
+    for (i, &(slice, _)) in groups.iter().enumerate() {
+        slot_of[slice] = i as u32;
+    }
+    let mut gathered: Vec<Vec<i64>> =
+        groups.iter().map(|&(slice, _)| Vec::with_capacity(counts[slice] as usize)).collect();
+    for &v in values {
+        let slot = slot_of[slice_of(v, min, shift)];
+        if slot != u32::MAX {
+            gathered[slot as usize].push(v);
+        }
+    }
+
+    // Resolve each slice independently (they are disjoint value ranges),
+    // then rebase local count_le to global with the slice prefix. Groups
+    // are in rank order, so concatenation restores request order.
+    let work: Vec<(usize, Vec<usize>, Vec<i64>)> = groups
+        .into_iter()
+        .zip(gathered)
+        .map(|((slice, locals), elems)| (slice, locals, elems))
+        .collect();
+    let resolved: Vec<Vec<(i64, u64)>> = parallel::par_map(&work, |(slice, locals, elems)| {
+        let local = if elems.len() >= RECURSE_MIN {
+            // Recurse with the slice's *actual* value range (tighter
+            // than the slice bounds), shrinking the span per level.
+            let (lo, hi) = selection::min_max(elems);
+            resolve_in_range(elems, locals, lo, hi)
+        } else {
+            let mut sorted = elems.clone();
+            sorted.sort_unstable();
+            locals
+                .iter()
+                .map(|&r| {
+                    let v = sorted[r];
+                    (v, sorted.partition_point(|&x| x <= v) as u64)
+                })
+                .collect()
+        };
+        local.into_iter().map(|(v, le)| (v, prefix[*slice] + le)).collect()
+    });
+    resolved.into_iter().flatten().collect()
+}
+
+#[inline]
+fn slice_of(v: i64, min: i64, shift: u32) -> usize {
+    (v.abs_diff(min) >> shift) as usize
+}
+
+fn count_slices(values: &[i64], min: i64, shift: u32, slices: usize) -> Vec<u64> {
+    let tally = |chunk: &[i64]| {
+        let mut counts = vec![0u64; slices];
+        for &v in chunk {
+            counts[slice_of(v, min, shift)] += 1;
+        }
+        counts
+    };
+    let threads = parallel::num_threads();
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        return tally(values);
+    }
+    let partials = parallel::par_chunks_map(threads, values, threads, tally);
+    let mut out = vec![0u64; slices];
+    for partial in partials {
+        for (acc, c) in out.iter_mut().zip(partial) {
+            *acc += c;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(values: &[i64], ranks: &[usize]) -> Vec<(i64, u64)> {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        ranks
+            .iter()
+            .map(|&r| {
+                let v = sorted[r];
+                (v, sorted.partition_point(|&x| x <= v) as u64)
+            })
+            .collect()
+    }
+
+    fn noisy(n: usize, domain: u64, seed: u64) -> Vec<i64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % domain) as i64 - (domain / 2) as i64
+            })
+            .collect()
+    }
+
+    fn spread_ranks(n: usize, k: usize) -> Vec<usize> {
+        super::super::selection::separator_ranks(n, k)
+    }
+
+    #[test]
+    fn matches_sorted_reference_across_shapes() {
+        for (n, domain, k) in [
+            (1usize, 3u64, 2usize),
+            (10, 4, 5),
+            (1000, 7, 10),               // shift == 0 fast path (tiny span)
+            (5000, 1 << 20, 64),         // one radix level
+            (20_000, u64::MAX / 2, 100), // wide span, recursion possible
+            (50_000, 65, 600),           // heavy duplicates, many equal separators
+        ] {
+            let values = noisy(n, domain, 0xABCD + n as u64);
+            let ranks = spread_ranks(n, k);
+            let got = resolve_ranks(&values, &ranks);
+            assert_eq!(got.entries, reference(&values, &ranks), "n={n} domain={domain} k={k}");
+            assert_eq!(got.min, *values.iter().min().expect("non-empty"));
+            assert_eq!(got.max, *values.iter().max().expect("non-empty"));
+        }
+    }
+
+    #[test]
+    fn recursion_path_matches_reference() {
+        // All mass in one slice forces the recursive branch: a huge run
+        // of one value plus a far outlier stretches the top-level range
+        // so the run's slice exceeds RECURSE_MIN.
+        let mut values = vec![42i64; RECURSE_MIN * 2];
+        values.extend(noisy(RECURSE_MIN, 1000, 0x77));
+        values.push(i64::MAX / 2);
+        let ranks = spread_ranks(values.len(), 50);
+        let got = resolve_ranks(&values, &ranks);
+        assert_eq!(got.entries, reference(&values, &ranks));
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let values = vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MIN, i64::MAX];
+        let ranks: Vec<usize> = (0..values.len()).collect();
+        let got = resolve_ranks(&values, &ranks);
+        assert_eq!(got.entries, reference(&values, &ranks));
+        assert_eq!((got.min, got.max), (i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn repeated_ranks_allowed() {
+        let values = noisy(500, 10, 0x11);
+        let ranks = vec![0, 0, 250, 250, 499];
+        let got = resolve_ranks(&values, &ranks);
+        assert_eq!(got.entries, reference(&values, &ranks));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value set")]
+    fn empty_values_rejected() {
+        let _ = resolve_ranks(&[], &[0]);
+    }
+}

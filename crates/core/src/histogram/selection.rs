@@ -1,0 +1,358 @@
+//! Selection-based separator extraction: all `k−1` equi-height quantiles
+//! of an **unsorted** multiset without a full sort.
+//!
+//! [`EquiHeightHistogram::from_sorted`](super::EquiHeightHistogram::from_sorted)
+//! only ever reads `k−1` order statistics out of the sorted data, so
+//! sorting the whole input does Θ(n log n) work to answer an
+//! O(n log k) question. This module extracts exactly those order
+//! statistics by recursive median-of-medians-style selection:
+//! `select_nth_unstable` at the middle target rank partitions the slice,
+//! then the ranks to the left and right recurse into their (disjoint)
+//! halves. The recursion depth is ⌈log₂ k⌉ and every level touches each
+//! element at most once, giving O(n log k) total work — for the paper's
+//! k = 600 over n = 10⁷ that is ~10 passes instead of a ~23-pass sort,
+//! and the partition passes are branch-cheaper than sort's merges.
+//!
+//! The two recursive calls operate on non-overlapping `&mut` halves, so
+//! they also fork across threads ([`samplehist_parallel::join`]) down to
+//! a depth that matches the machine's parallelism.
+//!
+//! **Equivalence guarantee** (property-tested in
+//! `crates/core/tests/properties.rs`): for every input multiset and
+//! bucket count, the separators, bucket counts, min/max — the whole
+//! histogram — are byte-identical to the sort-based path. Separators are
+//! *order statistics*, so they do not depend on how ties are arranged;
+//! bucket counts are computed by the order-independent domain rule
+//! `B_j = (s_{j-1}, s_j]`.
+
+use samplehist_parallel as parallel;
+
+/// Inputs shorter than this are cheaper to sort outright than to select
+/// from (selection's constant-factor overhead dominates below it).
+pub const SELECTION_MIN_N: usize = 8 * 1024;
+
+/// Selection stops paying once the histogram wants a constant fraction of
+/// the input as separators: require `(k−1) · 8 ≤ n`.
+pub const SELECTION_MAX_K_FRACTION: usize = 8;
+
+/// Slices shorter than this never fork a thread during selection.
+const PAR_SELECT_MIN: usize = 1 << 16;
+
+/// Value arrays shorter than this are counted serially.
+const PAR_COUNT_MIN: usize = 1 << 16;
+
+/// Should [`select_separators`] be used instead of sort-then-index for an
+/// input of `n` values and `k` buckets? (The routing rule behind
+/// `EquiHeightHistogram::from_unsorted`; see DESIGN.md "Performance
+/// architecture".)
+pub fn selection_profitable(n: usize, k: usize) -> bool {
+    k >= 2 && n >= SELECTION_MIN_N && (k - 1).saturating_mul(SELECTION_MAX_K_FRACTION) <= n
+}
+
+/// The 0-based ranks of the equi-height separators: `⌈j·n/k⌉ − 1` for
+/// `j = 1 … k−1` (the same ranks `from_sorted` reads; non-decreasing and
+/// possibly repeated when `k > n`).
+pub fn separator_ranks(n: usize, k: usize) -> Vec<usize> {
+    let n = n as u64;
+    (1..k as u64).map(|j| (crate::math::div_ceil_u64(j * n, k as u64) - 1) as usize).collect()
+}
+
+/// Extract the `k−1` equi-height separators of `values` by multi-rank
+/// selection, partially reordering `values` in place.
+///
+/// Returns exactly what `from_sorted`'s rank rule would return on the
+/// sorted input.
+///
+/// # Panics
+/// If `values` is empty or `k == 0`.
+pub fn select_separators(values: &mut [i64], k: usize) -> Vec<i64> {
+    select_partition(values, k).1
+}
+
+/// Like [`select_separators`], but also return the separator ranks. On
+/// return `values` is **partitioned** at those ranks: every element at a
+/// position in `(ranks[j-1], ranks[j]]` lies in `[s_j, s_{j+1}]` — the
+/// property [`bucket_counts_partitioned`] and [`min_max_partitioned`]
+/// exploit to finish construction in one cheap linear pass.
+pub fn select_partition(values: &mut [i64], k: usize) -> (Vec<usize>, Vec<i64>) {
+    assert!(k > 0, "a histogram needs at least one bucket");
+    assert!(!values.is_empty(), "cannot select separators of an empty value set");
+    let ranks = separator_ranks(values.len(), k);
+    let spawn_depth = depth_for(parallel::num_threads(), values.len());
+    multi_select(values, &ranks, 0, spawn_depth);
+    let separators = ranks.iter().map(|&r| values[r]).collect();
+    (ranks, separators)
+}
+
+/// Fork depth so that ~`threads` leaves exist, but never for tiny slices.
+fn depth_for(threads: usize, len: usize) -> u32 {
+    if threads <= 1 || len < PAR_SELECT_MIN {
+        0
+    } else {
+        usize::BITS - (threads - 1).leading_zeros() // ceil(log2(threads))
+    }
+}
+
+/// Recursive multi-rank selection. `ranks` are global 0-based positions
+/// (non-decreasing, each within `offset..offset + data.len()`); on return
+/// every `data[r − offset]` holds the r-th smallest element overall.
+fn multi_select(data: &mut [i64], ranks: &[usize], offset: usize, spawn_depth: u32) {
+    if ranks.is_empty() || data.len() <= 1 {
+        return;
+    }
+    let mid = ranks.len() / 2;
+    let target = ranks[mid] - offset;
+    debug_assert!(target < data.len());
+    let (lo, _pivot, hi) = data.select_nth_unstable(target);
+
+    // Ranks equal to ranks[mid] are already satisfied; strictly smaller
+    // ones live in `lo`, strictly larger ones in `hi`.
+    let left_end = ranks[..mid].partition_point(|&r| r < ranks[mid]);
+    let left = &ranks[..left_end];
+    let right_start = mid + 1 + ranks[mid + 1..].partition_point(|&r| r <= ranks[mid]);
+    let right = &ranks[right_start..];
+    let hi_offset = offset + target + 1;
+
+    if spawn_depth > 0 && lo.len().min(hi.len()) >= PAR_SELECT_MIN {
+        parallel::join(
+            || multi_select(lo, left, offset, spawn_depth - 1),
+            || multi_select(hi, right, hi_offset, spawn_depth - 1),
+        );
+    } else {
+        multi_select(lo, left, offset, spawn_depth.saturating_sub(1));
+        multi_select(hi, right, hi_offset, spawn_depth.saturating_sub(1));
+    }
+}
+
+/// Count how many of `values` (in any order) fall in each bucket of the
+/// histogram defined by `separators` — the order-independent counterpart
+/// of [`super::bucket_counts`], parallelized over chunks for large
+/// inputs. The per-chunk partial counts are reduced in chunk order, so
+/// the result is bit-identical at any thread count.
+pub fn bucket_counts_unsorted(values: &[i64], separators: &[i64]) -> Vec<u64> {
+    debug_assert!(separators.windows(2).all(|w| w[0] <= w[1]), "separators must be non-decreasing");
+    let threads = parallel::num_threads();
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        return count_chunk(values, separators);
+    }
+    let partials =
+        parallel::par_chunks_map(threads, values, threads, |chunk| count_chunk(chunk, separators));
+    let mut out = vec![0u64; separators.len() + 1];
+    for partial in partials {
+        for (acc, c) in out.iter_mut().zip(partial) {
+            *acc += c;
+        }
+    }
+    out
+}
+
+/// Bucket counts of a slice already **partitioned** by
+/// [`select_partition`] — one comparison per element instead of a binary
+/// search, because the segment between consecutive ranks pins each
+/// element's bucket down to a two-way choice.
+///
+/// Within segment `j` (positions `(ranks[j-1], ranks[j]]`) every element
+/// `v` satisfies `s_j ≤ v ≤ s_{j+1}`; under the domain rule
+/// `B = (s_{j-1}, s_j]` it belongs to bucket `j` unless `v` *equals* the
+/// segment's lower separator, in which case it belongs to the first
+/// bucket whose separator equals that value — a per-segment (not
+/// per-element) binary search.
+pub fn bucket_counts_partitioned(values: &[i64], ranks: &[usize], separators: &[i64]) -> Vec<u64> {
+    debug_assert_eq!(ranks.len(), separators.len());
+    let k = separators.len() + 1;
+    let mut counts = vec![0u64; k];
+    let mut start = 0usize;
+    for j in 0..k {
+        let end = if j + 1 < k { ranks[j] + 1 } else { values.len() };
+        if j == 0 {
+            // Everything in the first segment is ≤ s_1 ⇒ bucket 0.
+            counts[0] += (end - start) as u64;
+        } else {
+            let lower = separators[j - 1];
+            // Elements equal to `lower` belong with the first separator
+            // of that value (possibly several buckets to the left when
+            // separators repeat).
+            let eq_bucket = separators.partition_point(|&s| s < lower);
+            let eq: u64 = values[start..end].iter().map(|&v| u64::from(v == lower)).sum();
+            counts[j] += (end - start) as u64 - eq;
+            counts[eq_bucket] += eq;
+        }
+        start = end;
+    }
+    debug_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+    counts
+}
+
+/// Min and max of a slice partitioned by [`select_partition`]: the
+/// minimum lives in the first segment and the maximum in the last, so
+/// only ~`2n/k` elements are scanned.
+pub fn min_max_partitioned(values: &[i64], ranks: &[usize]) -> (i64, i64) {
+    assert!(!values.is_empty(), "min_max of an empty value set");
+    let first_end = ranks.first().map_or(values.len(), |&r| r + 1);
+    let last_start = ranks.last().map_or(0, |&r| r + 1);
+    let (lo, _) = min_max_chunk(&values[..first_end]);
+    // The last segment can be empty when k > n pushes every rank to the
+    // final element; the max then sits at the last rank itself.
+    let hi = if last_start < values.len() {
+        min_max_chunk(&values[last_start..]).1
+    } else {
+        values[*ranks.last().expect("k > 1 when last segment is empty")]
+    };
+    (lo, hi)
+}
+
+fn count_chunk(values: &[i64], separators: &[i64]) -> Vec<u64> {
+    let mut counts = vec![0u64; separators.len() + 1];
+    for &v in values {
+        // First bucket whose separator is ≥ v — the domain rule
+        // `B_j = (s_{j-1}, s_j]`, exactly as `bucket_of` resolves it.
+        counts[separators.partition_point(|&s| s < v)] += 1;
+    }
+    counts
+}
+
+/// Smallest and largest element of a non-empty, arbitrarily ordered
+/// slice (chunk-parallel for large inputs; min/max are associative and
+/// commutative, so the result is schedule-independent).
+pub fn min_max(values: &[i64]) -> (i64, i64) {
+    assert!(!values.is_empty(), "min_max of an empty value set");
+    let threads = parallel::num_threads();
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        return min_max_chunk(values);
+    }
+    parallel::par_chunks_map(threads, values, threads, min_max_chunk)
+        .into_iter()
+        .reduce(|(lo_a, hi_a), (lo_b, hi_b)| (lo_a.min(lo_b), hi_a.max(hi_b)))
+        .expect("non-empty input yields at least one chunk")
+}
+
+fn min_max_chunk(values: &[i64]) -> (i64, i64) {
+    values.iter().fold((i64::MAX, i64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_reference(values: &[i64], k: usize) -> Vec<i64> {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        separator_ranks(sorted.len(), k).iter().map(|&r| sorted[r]).collect()
+    }
+
+    /// Deterministic pseudo-random multiset with heavy duplicates.
+    fn noisy(n: usize, domain: u64, seed: u64) -> Vec<i64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % domain) as i64 - (domain / 2) as i64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranks_match_from_sorted_rule() {
+        // from_sorted reads rank ⌈j·n/k⌉ (1-based); we use the 0-based twin.
+        assert_eq!(separator_ranks(12, 4), vec![2, 5, 8]); // ceil(12/4)=3, 6, 9 → 0-based
+        assert_eq!(separator_ranks(10, 3), vec![3, 6]); // ceil(10/3)=4, ceil(20/3)=7 → 0-based 3, 6
+        assert_eq!(separator_ranks(2, 5), vec![0, 0, 1, 1]); // k > n repeats ranks
+        assert_eq!(separator_ranks(5, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn selection_equals_sorting_on_varied_inputs() {
+        for (n, domain, k) in [
+            (1usize, 10u64, 4usize),
+            (7, 3, 3),
+            (100, 5, 10),    // massive duplication
+            (1000, 1000, 7), // mostly distinct
+            (5000, 40, 600), // k close to n with duplicates
+            (20_000, 997, 50),
+        ] {
+            let data = noisy(n, domain, 0x5EED + n as u64);
+            let mut work = data.clone();
+            let got = select_separators(&mut work, k);
+            assert_eq!(got, sorted_reference(&data, k), "n={n} domain={domain} k={k}");
+            // The partial reorder is still a permutation of the input.
+            let mut a = work;
+            let mut b = data;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn unsorted_counts_equal_sorted_counts() {
+        for (n, domain) in [(1usize, 5u64), (100, 7), (3000, 500), (70_000, 50)] {
+            let data = noisy(n, domain, 0xC0FFEE + n as u64);
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            for k in [1usize, 2, 13, 128] {
+                let seps = sorted_reference(&data, k);
+                assert_eq!(
+                    bucket_counts_unsorted(&data, &seps),
+                    super::super::bucket_counts(&sorted, &seps),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_counts_and_min_max_match_sorted_reference() {
+        for (n, domain, k) in [
+            (1usize, 5u64, 3usize),
+            (2, 2, 7),    // k > n: repeated ranks, empty last segment
+            (100, 3, 10), // separators repeat heavily
+            (3000, 500, 13),
+            (20_000, 37, 600), // many elements equal to their separators
+        ] {
+            let data = noisy(n, domain, 0xBEEF + n as u64 + k as u64);
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let mut work = data.clone();
+            let (ranks, seps) = select_partition(&mut work, k);
+            assert_eq!(seps, sorted_reference(&data, k), "n={n} k={k}");
+            assert_eq!(
+                bucket_counts_partitioned(&work, &ranks, &seps),
+                super::super::bucket_counts(&sorted, &seps),
+                "n={n} domain={domain} k={k}"
+            );
+            assert_eq!(
+                min_max_partitioned(&work, &ranks),
+                (sorted[0], sorted[n - 1]),
+                "n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_matches_sort() {
+        for n in [1usize, 2, 999, 100_000] {
+            let data = noisy(n, 1_000_000, n as u64);
+            let (lo, hi) = min_max(&data);
+            assert_eq!(lo, *data.iter().min().unwrap());
+            assert_eq!(hi, *data.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn profitability_routing_boundaries() {
+        assert!(!selection_profitable(100, 10), "small inputs sort");
+        assert!(selection_profitable(SELECTION_MIN_N, 10));
+        assert!(!selection_profitable(SELECTION_MIN_N, 1), "single bucket never selects");
+        // 600 buckets want n ≥ 8·599.
+        assert!(!selection_profitable(4000, 600));
+        assert!(selection_profitable(10_000, 600));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value set")]
+    fn empty_input_rejected() {
+        let _ = select_separators(&mut [], 4);
+    }
+}

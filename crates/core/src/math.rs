@@ -142,8 +142,8 @@ mod tests {
     fn ln_gamma_large_argument_stirling() {
         // Compare against Stirling's series for a big argument.
         let x: f64 = 1.0e7;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x);
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
         assert!(close(ln_gamma(x), stirling, 1e-12));
     }
 

@@ -90,8 +90,7 @@ pub fn sample_blocks(source: &impl BlockSource, g: usize, rng: &mut impl Rng) ->
         source.num_blocks()
     );
     let block_ids: Vec<usize> = rand::seq::index::sample(rng, source.num_blocks(), g).into_vec();
-    let mut values =
-        Vec::with_capacity((source.avg_tuples_per_block() * g as f64).ceil() as usize);
+    let mut values = Vec::with_capacity((source.avg_tuples_per_block() * g as f64).ceil() as usize);
     for &id in &block_ids {
         values.extend_from_slice(source.block(id));
     }

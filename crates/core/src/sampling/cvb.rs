@@ -86,7 +86,12 @@ impl CvbConfig {
     /// When the theoretical `r` exceeds `n` (small relations or very
     /// strict `f`), `g₀` is clamped so the first round is at most half the
     /// file and cross-validation still gets a chance to run.
-    pub fn theoretical(source: &impl BlockSource, buckets: usize, target_f: f64, gamma: f64) -> Self {
+    pub fn theoretical(
+        source: &impl BlockSource,
+        buckets: usize,
+        target_f: f64,
+        gamma: f64,
+    ) -> Self {
         let n = source.num_tuples();
         let b = source.avg_tuples_per_block().max(1.0);
         let r = corollary1_sample_size(buckets, target_f, n, gamma);
@@ -181,8 +186,8 @@ impl CvbResult {
     /// doubling schedule keeps this within 2× of the effective-rate
     /// optimum for the data's clustering.
     pub fn oversampling_factor(&self, config: &CvbConfig, n: u64) -> f64 {
-        let r = corollary1_sample_size(config.buckets, config.target_f, n, config.gamma)
-            .min(n as f64);
+        let r =
+            corollary1_sample_size(config.buckets, config.target_f, n, config.gamma).min(n as f64);
         self.tuples_sampled as f64 / r
     }
 }
@@ -270,11 +275,7 @@ pub fn run(source: &impl BlockSource, config: &CvbConfig, rng: &mut impl Rng) ->
 
         // Merge (step 4c) and rebuild.
         accumulated = merge_sorted(&accumulated, &fresh);
-        histogram = Some(EquiHeightHistogram::from_sorted_sample(
-            &accumulated,
-            config.buckets,
-            n,
-        ));
+        histogram = Some(EquiHeightHistogram::from_sorted_sample(&accumulated, config.buckets, n));
 
         rounds.push(CvbRound {
             round,

@@ -198,11 +198,7 @@ mod tests {
         let src = SliceBlocks::new(&data, 100);
         let mut rng = StdRng::seed_from_u64(2);
         let result = run(&src, &config(), &mut rng);
-        assert!(
-            result.design_effect < 2.0,
-            "random layout deff = {}",
-            result.design_effect
-        );
+        assert!(result.design_effect < 2.0, "random layout deff = {}", result.design_effect);
         // And the final histogram hits the target on the true data.
         let mut sorted = data.clone();
         sorted.sort_unstable();
@@ -216,11 +212,7 @@ mod tests {
         let src = SliceBlocks::new(&data, 100);
         let mut rng = StdRng::seed_from_u64(3);
         let result = run(&src, &config(), &mut rng);
-        assert!(
-            result.design_effect > 30.0,
-            "clustered deff = {} (b = 100)",
-            result.design_effect
-        );
+        assert!(result.design_effect > 30.0, "clustered deff = {} (b = 100)", result.design_effect);
         // The inflated phase 2 reads far more blocks than the pilot.
         assert!(result.phase2_blocks > 5 * result.pilot_blocks);
     }
@@ -249,15 +241,8 @@ mod tests {
         let src = SliceBlocks::new(&data, 50);
         let mut rng = StdRng::seed_from_u64(8);
         let result = run(&src, &config(), &mut rng);
-        assert_eq!(
-            result.tuples_sampled as usize,
-            result.sample_sorted.len()
-        );
-        assert_eq!(
-            result.blocks_sampled() * 50,
-            result.sample_sorted.len(),
-            "whole blocks only"
-        );
+        assert_eq!(result.tuples_sampled as usize, result.sample_sorted.len());
+        assert_eq!(result.blocks_sampled() * 50, result.sample_sorted.len(), "whole blocks only");
         assert!(result.sample_sorted.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(result.histogram.total(), 50_000);
     }
@@ -269,12 +254,7 @@ mod tests {
         let mut data: Vec<i64> = (0..20_000).collect();
         data.shuffle(&mut StdRng::seed_from_u64(9));
         let src = SliceBlocks::new(&data, 100);
-        let cfg = DoubleSamplingConfig {
-            buckets: 5,
-            target_f: 1.0,
-            gamma: 0.5,
-            pilot_blocks: 100,
-        };
+        let cfg = DoubleSamplingConfig { buckets: 5, target_f: 1.0, gamma: 0.5, pilot_blocks: 100 };
         let mut rng = StdRng::seed_from_u64(10);
         let result = run(&src, &cfg, &mut rng);
         assert_eq!(result.pilot_blocks, 100);

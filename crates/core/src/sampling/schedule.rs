@@ -70,8 +70,7 @@ impl Schedule {
                 }
             }
             Schedule::SqrtSteps { multiplier } => {
-                let target =
-                    multiplier * ctx.round as f64 * (ctx.total_tuples as f64).sqrt();
+                let target = multiplier * ctx.round as f64 * (ctx.total_tuples as f64).sqrt();
                 let deficit_tuples = (target - ctx.tuples_so_far as f64).max(0.0);
                 (deficit_tuples / ctx.tuples_per_block.max(1.0)).ceil() as usize
             }

@@ -5,13 +5,11 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use samplehist_core::bounds::{
-    corollary1_error, corollary1_sample_size, theorem5_sample_size,
-};
+use samplehist_core::bounds::{corollary1_error, corollary1_sample_size, theorem5_sample_size};
 use samplehist_core::distinct::{DistinctEstimator, FrequencyProfile, Gee};
 use samplehist_core::error::{delta_separation, fractional_max_error};
 use samplehist_core::estimate::RangeEstimator;
-use samplehist_core::histogram::EquiHeightHistogram;
+use samplehist_core::histogram::{selection, EquiHeightHistogram};
 use samplehist_core::math::{hypergeometric_pmf, ln_binomial};
 use samplehist_core::sampling::{Reservoir, Schedule, ScheduleContext};
 
@@ -21,6 +19,14 @@ fn multiset() -> impl Strategy<Value = Vec<i64>> {
             runs.into_iter().flat_map(|(val, c)| std::iter::repeat(val).take(c)).collect();
         v.sort_unstable();
         v
+    })
+}
+
+/// Unsorted heavy-duplicate multisets: `runs` runs of 4–7 copies of a
+/// value from a small domain (so distinct runs collide on values too).
+fn unsorted_multiset(runs: std::ops::Range<usize>) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec((-1000i64..1000, 4usize..8), runs).prop_map(|runs| {
+        runs.into_iter().flat_map(|(val, c)| std::iter::repeat(val).take(c)).collect()
     })
 }
 
@@ -169,5 +175,71 @@ proptest! {
         for t in [-150i64, -3, 0, 42, 150] {
             prop_assert_eq!(a.estimate_le(t).to_bits(), b.estimate_le(t).to_bits());
         }
+    }
+
+    /// Selection-based separator extraction is exactly the sort-based
+    /// rule on heavy-duplicate multisets, and the partitioned finishing
+    /// passes reproduce the sorted bucket counts and min/max.
+    #[test]
+    fn selection_separators_equal_sort_separators(
+        data in unsorted_multiset(1..400),
+        k in 1usize..16,
+    ) {
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let reference = EquiHeightHistogram::from_sorted(&sorted, k);
+        let mut work = data.clone();
+        let (ranks, separators) = selection::select_partition(&mut work, k);
+        prop_assert_eq!(&separators[..], reference.separators());
+        prop_assert_eq!(
+            selection::bucket_counts_partitioned(&work, &ranks, &separators),
+            reference.counts().to_vec()
+        );
+        prop_assert_eq!(
+            selection::min_max_partitioned(&work, &ranks),
+            (reference.min_value(), reference.max_value())
+        );
+        // The binary-search counting variant agrees on the original order.
+        prop_assert_eq!(
+            selection::bucket_counts_unsorted(&data, &separators),
+            reference.counts().to_vec()
+        );
+    }
+
+    /// `from_unsorted` (radix-count routed at this size) is byte-identical
+    /// to sort + `from_sorted`, and the sampled variant to
+    /// `from_sorted_sample`, for every multiset and bucket count.
+    #[test]
+    fn from_unsorted_equals_sort_path(
+        data in unsorted_multiset(2100..2600), // × runs ⇒ n ≥ 8192: selection route
+        k in 2usize..32,
+        extra_pop in 0u64..10_000,
+    ) {
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(
+            EquiHeightHistogram::from_unsorted(data.clone(), k),
+            EquiHeightHistogram::from_sorted(&sorted, k)
+        );
+        let pop = data.len() as u64 + extra_pop;
+        prop_assert_eq!(
+            EquiHeightHistogram::from_unsorted_sample(data.clone(), k, pop),
+            EquiHeightHistogram::from_sorted_sample(&sorted, k, pop)
+        );
+    }
+
+    /// The parallel frequency-profile builder is bit-identical to the
+    /// serial tally for any sorted multiset and thread count.
+    #[test]
+    fn parallel_frequency_profile_equals_serial(
+        data in unsorted_multiset(1..500),
+        threads in 1usize..10,
+    ) {
+        let mut sorted = data;
+        sorted.sort_unstable();
+        prop_assert_eq!(
+            FrequencyProfile::from_sorted_sample_threads(threads, &sorted),
+            FrequencyProfile::from_sorted_sample_threads(1, &sorted)
+        );
     }
 }

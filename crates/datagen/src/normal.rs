@@ -60,8 +60,8 @@ mod tests {
         let g = Normal::new(1000.0, 50.0);
         let data = g.materialize(100_000, &mut rng);
         let mean: f64 = data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64;
-        let var: f64 = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
-            / (data.len() - 1) as f64;
+        let var: f64 =
+            data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((mean - 1000.0).abs() < 1.0, "mean = {mean}");
         assert!((var.sqrt() - 50.0).abs() < 1.0, "sd = {}", var.sqrt());
     }

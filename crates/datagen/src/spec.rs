@@ -71,20 +71,12 @@ impl DataSpec {
     pub fn generate(&self, n: u64, rng: &mut impl Rng) -> Dataset {
         let values = match *self {
             DataSpec::Zipf { z, domain } => Zipf::new(z, domain).materialize_exact(n),
-            DataSpec::ZipfSampled { z, domain } => {
-                Zipf::new(z, domain).materialize_sampled(n, rng)
-            }
+            DataSpec::ZipfSampled { z, domain } => Zipf::new(z, domain).materialize_sampled(n, rng),
             DataSpec::UnifDup { copies } => UnifDup::new(copies).materialize(n),
             DataSpec::UniformDistinct => UniformDistinct.materialize(n),
-            DataSpec::UniformRandom { domain } => {
-                UniformRandom::new(domain).materialize(n, rng)
-            }
-            DataSpec::Normal { mean, std_dev } => {
-                Normal::new(mean, std_dev).materialize(n, rng)
-            }
-            DataSpec::SelfSimilar { domain, h } => {
-                SelfSimilar::new(domain, h).materialize(n, rng)
-            }
+            DataSpec::UniformRandom { domain } => UniformRandom::new(domain).materialize(n, rng),
+            DataSpec::Normal { mean, std_dev } => Normal::new(mean, std_dev).materialize(n, rng),
+            DataSpec::SelfSimilar { domain, h } => SelfSimilar::new(domain, h).materialize(n, rng),
         };
         Dataset { values, label: self.label() }
     }

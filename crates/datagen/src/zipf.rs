@@ -66,12 +66,7 @@ impl Zipf {
             leftover -= 1;
         }
 
-        counts
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, c)| c > 0)
-            .map(|(i, c)| (i as i64, c))
-            .collect()
+        counts.into_iter().enumerate().filter(|&(_, c)| c > 0).map(|(i, c)| (i as i64, c)).collect()
     }
 
     /// Materialize `n` tuples with the **exact** multiplicities of

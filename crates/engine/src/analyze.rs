@@ -150,8 +150,7 @@ pub fn analyze(
         }
         AnalyzeMode::BlockSample { rate } => {
             assert!(rate > 0.0 && rate <= 1.0, "block-sampling rate must be in (0,1]");
-            let g = ((file.num_pages() as f64 * rate).ceil() as usize)
-                .clamp(1, file.num_pages());
+            let g = ((file.num_pages() as f64 * rate).ceil() as usize).clamp(1, file.num_pages());
             let mut sampler = BlockSampler::new();
             let values = sampler.sample(file, g, rng);
             let full = g == file.num_pages();
@@ -182,7 +181,9 @@ pub fn analyze(
             (result.sample_sorted, io, method, result.exhausted)
         }
     };
-    sample.sort_unstable();
+    // Full scans and large samples dominate ANALYZE wall-clock here;
+    // sort across cores (serial fallback below the parallel cutoff).
+    samplehist_parallel::par_sort_unstable(&mut sample);
 
     let histogram = if is_full {
         EquiHeightHistogram::from_sorted(&sample, options.buckets)
@@ -199,11 +200,8 @@ pub fn analyze(
 
     let profile = FrequencyProfile::from_sorted_sample(&sample);
     let distinct_in_sample = profile.distinct_in_sample();
-    let distinct_estimate = if is_full {
-        distinct_in_sample as f64
-    } else {
-        Gee.estimate(&profile, n)
-    };
+    let distinct_estimate =
+        if is_full { distinct_in_sample as f64 } else { Gee.estimate(&profile, n) };
 
     Ok(ColumnStatistics {
         table: table.name().to_string(),
@@ -246,8 +244,8 @@ mod tests {
     fn full_scan_is_exact() {
         let t = orders_table(1);
         let mut rng = StdRng::seed_from_u64(2);
-        let s = analyze(&t, "amount", &AnalyzeOptions::full_scan(50), &mut rng)
-            .expect("column exists");
+        let s =
+            analyze(&t, "amount", &AnalyzeOptions::full_scan(50), &mut rng).expect("column exists");
         assert_eq!(s.sample_size, 20_000);
         assert_eq!(s.distinct_estimate, 200.0);
         assert_eq!(s.distinct_in_sample, 200);
@@ -262,7 +260,11 @@ mod tests {
     fn row_sample_meters_page_per_tuple() {
         let t = orders_table(3);
         let mut rng = StdRng::seed_from_u64(4);
-        let opts = AnalyzeOptions { buckets: 20, mode: AnalyzeMode::RowSample { rate: 0.05 }, compressed: false };
+        let opts = AnalyzeOptions {
+            buckets: 20,
+            mode: AnalyzeMode::RowSample { rate: 0.05 },
+            compressed: false,
+        };
         let s = analyze(&t, "id", &opts, &mut rng).expect("column exists");
         assert_eq!(s.sample_size, 1000);
         assert_eq!(s.io.pages_read, 1000, "a page fault per sampled row");
@@ -275,7 +277,11 @@ mod tests {
     fn block_sample_meters_pages() {
         let t = orders_table(5);
         let mut rng = StdRng::seed_from_u64(6);
-        let opts = AnalyzeOptions { buckets: 20, mode: AnalyzeMode::BlockSample { rate: 0.1 }, compressed: false };
+        let opts = AnalyzeOptions {
+            buckets: 20,
+            mode: AnalyzeMode::BlockSample { rate: 0.1 },
+            compressed: false,
+        };
         let s = analyze(&t, "amount", &opts, &mut rng).expect("column exists");
         assert_eq!(s.io.pages_read, 20); // 10% of 200 pages
         assert_eq!(s.sample_size, 2000);
@@ -286,8 +292,11 @@ mod tests {
     fn adaptive_mode_runs_and_reports() {
         let t = orders_table(7);
         let mut rng = StdRng::seed_from_u64(8);
-        let opts =
-            AnalyzeOptions { buckets: 20, mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 }, compressed: false };
+        let opts = AnalyzeOptions {
+            buckets: 20,
+            mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 },
+            compressed: false,
+        };
         let s = analyze(&t, "amount", &opts, &mut rng).expect("column exists");
         assert!(s.method.contains("adaptive CVB"));
         assert!(s.io.pages_read > 0);
@@ -299,8 +308,8 @@ mod tests {
     fn unknown_column_is_an_error() {
         let t = orders_table(9);
         let mut rng = StdRng::seed_from_u64(10);
-        let err = analyze(&t, "nope", &AnalyzeOptions::full_scan(10), &mut rng)
-            .expect_err("must fail");
+        let err =
+            analyze(&t, "nope", &AnalyzeOptions::full_scan(10), &mut rng).expect_err("must fail");
         assert_eq!(
             err,
             AnalyzeError::UnknownColumn { table: "orders".into(), column: "nope".into() }
@@ -313,7 +322,11 @@ mod tests {
     fn bad_rate_panics() {
         let t = orders_table(11);
         let mut rng = StdRng::seed_from_u64(12);
-        let opts = AnalyzeOptions { buckets: 10, mode: AnalyzeMode::RowSample { rate: 1.5 }, compressed: false };
+        let opts = AnalyzeOptions {
+            buckets: 10,
+            mode: AnalyzeMode::RowSample { rate: 1.5 },
+            compressed: false,
+        };
         let _ = analyze(&t, "id", &opts, &mut rng);
     }
 }

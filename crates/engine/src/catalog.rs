@@ -109,10 +109,8 @@ mod tests {
         let t = demo_table(3);
         let mut rng = StdRng::seed_from_u64(4);
         let mut cat = Catalog::new();
-        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng)
-            .expect("exists");
-        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(25), &mut rng)
-            .expect("exists");
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng).expect("exists");
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(25), &mut rng).expect("exists");
         assert_eq!(cat.len(), 1);
         assert_eq!(cat.get("t", "a").expect("stored").histogram.num_buckets(), 25);
     }

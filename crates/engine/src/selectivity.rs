@@ -30,9 +30,10 @@ pub struct CardinalityEstimate {
 /// nothing — which is how histogram alignment beats the global formula on
 /// partially overlapping domains.
 pub fn estimate_equijoin(a: &ColumnStatistics, b: &ColumnStatistics) -> f64 {
-    let (lo, hi) =
-        (a.histogram.min_value().max(b.histogram.min_value()),
-         a.histogram.max_value().min(b.histogram.max_value()));
+    let (lo, hi) = (
+        a.histogram.min_value().max(b.histogram.min_value()),
+        a.histogram.max_value().min(b.histogram.max_value()),
+    );
     if lo > hi {
         return 0.0;
     }
@@ -97,8 +98,7 @@ pub fn estimate_cardinality(
                 let h = &stats.histogram;
                 if *v < h.min_value() || *v > h.max_value() {
                     0.0
-                } else if c.high_frequency_values().binary_search_by_key(v, |&(hv, _)| hv).is_ok()
-                {
+                } else if c.high_frequency_values().binary_search_by_key(v, |&(hv, _)| hv).is_ok() {
                     c.estimate_eq(*v)
                 } else {
                     c.estimate_eq(*v).max(stats.rows_per_distinct())
@@ -205,10 +205,7 @@ mod tests {
         let truth = 40_000.0f64;
         let e_plain = estimate_cardinality(&plain, &Predicate::Eq(777_000)).rows;
         let e_comp = estimate_cardinality(&comp, &Predicate::Eq(777_000)).rows;
-        assert!(
-            (e_comp - truth).abs() < 1.0,
-            "compressed equality should be exact: {e_comp}"
-        );
+        assert!((e_comp - truth).abs() < 1.0, "compressed equality should be exact: {e_comp}");
         assert!(
             (e_comp - truth).abs() < (e_plain - truth).abs(),
             "compressed ({e_comp}) should beat plain ({e_plain})"
@@ -244,10 +241,7 @@ mod tests {
         sorted.sort_unstable();
         let truth = true_equijoin(&values, &sorted) as f64;
         assert_eq!(truth, 250_000.0);
-        assert!(
-            (est - truth).abs() / truth < 0.25,
-            "self-join est {est} vs truth {truth}"
-        );
+        assert!((est - truth).abs() / truth < 0.25, "self-join est {est} vs truth {truth}");
     }
 
     #[test]
@@ -299,7 +293,11 @@ mod tests {
         let t = Table::builder("t")
             .column_with_blocking("c", values, 100, Layout::Random, &mut rng)
             .build();
-        let opts = AnalyzeOptions { buckets: 50, mode: AnalyzeMode::BlockSample { rate: 0.2 }, compressed: false };
+        let opts = AnalyzeOptions {
+            buckets: 50,
+            mode: AnalyzeMode::BlockSample { rate: 0.2 },
+            compressed: false,
+        };
         let s = analyze(&t, "c", &opts, &mut rng).expect("exists");
         for pred in [
             Predicate::Le(2500),

@@ -84,17 +84,13 @@ impl TableBuilder {
         rng: &mut impl Rng,
     ) -> Self {
         let name = name.into();
-        assert!(
-            self.columns.iter().all(|c| c.name != name),
-            "duplicate column name {name:?}"
-        );
+        assert!(self.columns.iter().all(|c| c.name != name), "duplicate column name {name:?}");
         let rows = values.len() as u64;
         match self.num_rows {
             None => self.num_rows = Some(rows),
-            Some(existing) => assert_eq!(
-                existing, rows,
-                "column {name:?} has {rows} rows, table has {existing}"
-            ),
+            Some(existing) => {
+                assert_eq!(existing, rows, "column {name:?} has {rows} rows, table has {existing}")
+            }
         }
         let file = HeapFile::with_layout(values, tuples_per_page, layout, rng);
         self.columns.push(Column { name, file });

@@ -7,8 +7,7 @@ use rand::SeedableRng;
 
 use samplehist_data::{DataSpec, DataSummary};
 use samplehist_engine::{
-    analyze, estimate_cardinality, estimate_equijoin, AnalyzeMode, AnalyzeOptions, Predicate,
-    Table,
+    analyze, estimate_cardinality, estimate_equijoin, AnalyzeMode, AnalyzeOptions, Predicate, Table,
 };
 use samplehist_storage::Layout;
 
@@ -61,9 +60,21 @@ fn analyze_modes_agree_on_selectivity() {
         [Predicate::Le(50), Predicate::Between { low: 100, high: 2_000 }, Predicate::Ge(10_000)];
     for opts in [
         AnalyzeOptions::full_scan(64),
-        AnalyzeOptions { buckets: 64, mode: AnalyzeMode::RowSample { rate: 0.05 }, compressed: false },
-        AnalyzeOptions { buckets: 64, mode: AnalyzeMode::BlockSample { rate: 0.05 }, compressed: false },
-        AnalyzeOptions { buckets: 64, mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 }, compressed: false },
+        AnalyzeOptions {
+            buckets: 64,
+            mode: AnalyzeMode::RowSample { rate: 0.05 },
+            compressed: false,
+        },
+        AnalyzeOptions {
+            buckets: 64,
+            mode: AnalyzeMode::BlockSample { rate: 0.05 },
+            compressed: false,
+        },
+        AnalyzeOptions {
+            buckets: 64,
+            mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 },
+            compressed: false,
+        },
     ] {
         let stats = analyze(&t, "c", &opts, &mut rng).expect("column exists");
         for p in &preds {
@@ -85,15 +96,16 @@ fn sampled_equijoin_close_to_truth() {
     let n = 80_000u64;
     let (t, sorted) = table_from(DataSpec::UnifDup { copies: 40 }, n, 400);
     let mut rng = StdRng::seed_from_u64(401);
-    let opts = AnalyzeOptions { buckets: 50, mode: AnalyzeMode::BlockSample { rate: 0.2 }, compressed: false };
+    let opts = AnalyzeOptions {
+        buckets: 50,
+        mode: AnalyzeMode::BlockSample { rate: 0.2 },
+        compressed: false,
+    };
     let stats = analyze(&t, "c", &opts, &mut rng).expect("column exists");
     let est = estimate_equijoin(&stats, &stats);
     // Exact self-join: d · copies² = (n/40)·1600 = 40·n.
     let truth = 40.0 * n as f64;
-    assert!(
-        (est - truth).abs() / truth < 0.35,
-        "self-join est {est} vs truth {truth}"
-    );
+    assert!((est - truth).abs() / truth < 0.35, "self-join est {est} vs truth {truth}");
     drop(sorted);
 }
 

@@ -1,0 +1,241 @@
+//! # samplehist-parallel
+//!
+//! Dependency-free data-parallel primitives for the histogram pipeline,
+//! built on [`std::thread::scope`]. The workspace builds with no external
+//! crates, so the small slice of `rayon`'s API the pipeline needs —
+//! fork/join, an order-preserving parallel map, chunked map/reduce, and a
+//! parallel unstable sort — is implemented here directly.
+//!
+//! ## Determinism policy
+//!
+//! Every primitive is **bit-deterministic regardless of thread count**:
+//!
+//! * [`par_map`] writes each result into the slot of its input index, so
+//!   the output order equals the input order no matter which thread ran
+//!   which item; callers reduce the returned vector sequentially.
+//! * [`par_chunks_map`] splits a slice at positions that depend only on
+//!   the requested chunk count, never on timing.
+//! * [`par_sort_unstable`] operates on totally ordered keys whose equal
+//!   elements are indistinguishable (`i64` values here), so the sorted
+//!   output is unique and therefore schedule-independent.
+//!
+//! ## Thread-count policy
+//!
+//! [`num_threads`] reads `SAMPLEHIST_THREADS` once (then caches); when
+//! unset it uses [`std::thread::available_parallelism`]. With one thread
+//! every primitive degrades to the serial code path — no threads are
+//! spawned, no overhead is paid — which also keeps single-core CI runs
+//! honest. The `*_threads` variants take an explicit count so tests can
+//! exercise the parallel paths deterministically without touching global
+//! state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// Worker-thread budget: `SAMPLEHIST_THREADS` if set and positive,
+/// otherwise the machine's available parallelism. Cached after first read.
+pub fn num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("SAMPLEHIST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+///
+/// The second closure runs on a freshly scoped thread while the first
+/// runs on the caller's thread; panics propagate to the caller.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("parallel task panicked");
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map with the default thread budget.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(num_threads(), items, f)
+}
+
+/// Order-preserving parallel map with an explicit thread count.
+///
+/// Results are returned in input order whatever the schedule; with
+/// `threads <= 1` the map runs serially on the calling thread.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Split `data` into at most `chunks` contiguous pieces of near-equal
+/// length and map each piece, in parallel, to one result. The piece
+/// boundaries depend only on `chunks` and `data.len()`, so the output is
+/// deterministic; reduce it sequentially for bit-stable aggregates.
+pub fn par_chunks_map<T, R, F>(threads: usize, data: &[T], chunks: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let chunks = chunks.clamp(1, data.len().max(1));
+    let chunk_len = data.len().div_ceil(chunks);
+    let pieces: Vec<&[T]> = data.chunks(chunk_len.max(1)).collect();
+    par_map_threads(threads, &pieces, |piece| f(piece))
+}
+
+/// Parallel unstable sort with the default thread budget.
+pub fn par_sort_unstable<T: Ord + Copy + Send + Sync>(v: &mut [T]) {
+    par_sort_unstable_threads(num_threads(), v);
+}
+
+/// Minimum slice length before [`par_sort_unstable`] bothers spawning.
+const PAR_SORT_MIN: usize = 1 << 15;
+
+/// Parallel unstable sort with an explicit thread count: sort near-equal
+/// chunks on scoped threads, then k-way merge through a loser heap.
+/// Falls back to [`slice::sort_unstable`] for small inputs or one thread.
+pub fn par_sort_unstable_threads<T: Ord + Copy + Send + Sync>(threads: usize, v: &mut [T]) {
+    if threads <= 1 || v.len() < PAR_SORT_MIN {
+        v.sort_unstable();
+        return;
+    }
+    let chunk_len = v.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest: &mut [T] = v;
+        while rest.len() > chunk_len {
+            let (head, tail) = rest.split_at_mut(chunk_len);
+            s.spawn(|| head.sort_unstable());
+            rest = tail;
+        }
+        rest.sort_unstable();
+    });
+    // Merge the sorted runs in one pass. A binary heap of (head, run)
+    // keyed on the run's current front gives O(n log t) with t = threads.
+    let runs: Vec<&[T]> = v.chunks(chunk_len).collect();
+    let mut merged: Vec<T> = Vec::with_capacity(v.len());
+    let mut heads: Vec<usize> = vec![0; runs.len()];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(T, usize)>> =
+        std::collections::BinaryHeap::with_capacity(runs.len());
+    for (ri, run) in runs.iter().enumerate() {
+        if !run.is_empty() {
+            heap.push(std::cmp::Reverse((run[0], ri)));
+        }
+    }
+    while let Some(std::cmp::Reverse((val, ri))) = heap.pop() {
+        merged.push(val);
+        heads[ri] += 1;
+        if let Some(&next) = runs[ri].get(heads[ri]) {
+            heap.push(std::cmp::Reverse((next, ri)));
+        }
+    }
+    v.copy_from_slice(&merged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(par_map_threads(threads, &items, |&x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(par_map_threads(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_threads(4, &[9u64], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_chunks_map_covers_everything_once() {
+        let data: Vec<u64> = (0..1000).collect();
+        for chunks in [1, 3, 7, 16] {
+            let sums = par_chunks_map(4, &data, chunks, |c| c.iter().sum::<u64>());
+            assert!(sums.len() <= chunks.max(1));
+            assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_serial_sort() {
+        // Deterministic pseudo-random data with heavy duplicates.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let data: Vec<i64> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 997) as i64 - 498
+            })
+            .collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for threads in [1, 2, 4, 7] {
+            let mut got = data.clone();
+            par_sort_unstable_threads(threads, &mut got);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_small_input() {
+        let mut v = vec![3i64, 1, 2];
+        par_sort_unstable_threads(8, &mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel task panicked")]
+    fn panics_propagate() {
+        let _ = join(|| 1, || panic!("boom"));
+    }
+}

@@ -44,7 +44,11 @@ impl BlockSampler {
             (0.0..=1.0).contains(&fraction),
             "sampling fraction must be in [0,1], got {fraction}"
         );
-        let mut out = Vec::new();
+        // Expected yield is `fraction · pages` full pages; reserving it up
+        // front avoids ~log₂(n) reallocation copies of the growing sample.
+        let expected =
+            (fraction * file.num_pages() as f64).ceil() as usize * file.blocking_factor();
+        let mut out = Vec::with_capacity(expected);
         for p in 0..file.num_pages() {
             if rng.gen::<f64>() < fraction {
                 let page = file.page(PageId(p as u32));

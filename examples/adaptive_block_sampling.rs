@@ -46,7 +46,10 @@ fn main() {
         let result = cvb::run(&file, &config, &mut rng);
 
         println!("=== layout: {name} ===");
-        println!("{:>5} {:>10} {:>12} {:>12} {:>16}", "round", "new blk", "total blk", "tuples", "cross-val error");
+        println!(
+            "{:>5} {:>10} {:>12} {:>12} {:>16}",
+            "round", "new blk", "total blk", "tuples", "cross-val error"
+        );
         for r in &result.rounds {
             println!(
                 "{:>5} {:>10} {:>12} {:>12} {:>16}",
@@ -54,9 +57,7 @@ fn main() {
                 r.new_blocks,
                 r.total_blocks,
                 r.total_tuples,
-                r.cross_validation_error
-                    .map(|e| format!("{e:.3}"))
-                    .unwrap_or_else(|| "-".into())
+                r.cross_validation_error.map(|e| format!("{e:.3}")).unwrap_or_else(|| "-".into())
             );
         }
         let true_err = fractional_max_error(

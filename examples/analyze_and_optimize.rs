@@ -33,18 +33,45 @@ fn main() {
     let mut sorted = amounts.values;
     sorted.sort_unstable();
 
-    println!("orders: {n} rows, {} pages\n", table.column("amount").expect("exists").file().num_blocks());
+    println!(
+        "orders: {n} rows, {} pages\n",
+        table.column("amount").expect("exists").file().num_blocks()
+    );
 
     // Collect statistics four ways.
     let modes: Vec<(&str, AnalyzeOptions)> = vec![
         ("FULLSCAN", AnalyzeOptions::full_scan(200)),
-        ("ROW 1%", AnalyzeOptions { buckets: 200, mode: AnalyzeMode::RowSample { rate: 0.01 }, compressed: false }),
-        ("BLOCK 1%", AnalyzeOptions { buckets: 200, mode: AnalyzeMode::BlockSample { rate: 0.01 }, compressed: false }),
-        ("ADAPTIVE", AnalyzeOptions { buckets: 200, mode: AnalyzeMode::Adaptive { target_f: 0.15, gamma: 0.05 }, compressed: false }),
+        (
+            "ROW 1%",
+            AnalyzeOptions {
+                buckets: 200,
+                mode: AnalyzeMode::RowSample { rate: 0.01 },
+                compressed: false,
+            },
+        ),
+        (
+            "BLOCK 1%",
+            AnalyzeOptions {
+                buckets: 200,
+                mode: AnalyzeMode::BlockSample { rate: 0.01 },
+                compressed: false,
+            },
+        ),
+        (
+            "ADAPTIVE",
+            AnalyzeOptions {
+                buckets: 200,
+                mode: AnalyzeMode::Adaptive { target_f: 0.15, gamma: 0.05 },
+                compressed: false,
+            },
+        ),
     ];
 
     let mut all_stats = Vec::new();
-    println!("{:<10} {:>12} {:>12} {:>10} {:>10}", "mode", "pages read", "tuples", "density", "distinct~");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "mode", "pages read", "tuples", "density", "distinct~"
+    );
     for (name, opts) in &modes {
         let stats = analyze(&table, "amount", opts, &mut rng).expect("column exists");
         println!(
@@ -57,12 +84,15 @@ fn main() {
     // Selectivity + plan choice for a few predicates.
     let cost = CostModel::default();
     let pages = table.column("amount").expect("exists").file().num_blocks() as u64;
-    println!("\n{:<28} {:>10} | per statistics mode: estimate -> plan (regret)", "predicate", "true rows");
+    println!(
+        "\n{:<28} {:>10} | per statistics mode: estimate -> plan (regret)",
+        "predicate", "true rows"
+    );
     for pred in [
-        Predicate::Lt(100),               // the skewed head: moderately large
+        Predicate::Lt(100),                          // the skewed head: moderately large
         Predicate::Between { low: 0, high: 20_000 }, // huge: scan is right
-        Predicate::Gt(99_900),            // razor-thin tail: seek is right
-        Predicate::Eq(50_000),            // point lookup via density
+        Predicate::Gt(99_900),                       // razor-thin tail: seek is right
+        Predicate::Eq(50_000),                       // point lookup via density
     ] {
         let truth = pred.true_cardinality(&sorted);
         print!("{:<28} {:>10} |", pred.to_string(), truth);
@@ -70,10 +100,7 @@ fn main() {
             let est = estimate_cardinality(stats, &pred);
             let choice = choose_access_path(&est, pages, &cost);
             let outcome = evaluate_choice(&choice, truth, pages, &cost);
-            print!(
-                " {}={:.0}->{:?}({:.1}x)",
-                name, est.rows, outcome.chosen, outcome.regret
-            );
+            print!(" {}={:.0}->{:?}({:.1}x)", name, est.rows, outcome.chosen, outcome.regret);
         }
         println!();
     }

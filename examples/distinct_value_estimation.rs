@@ -27,10 +27,7 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
 
     println!("=== Part 1: estimator shoot-out (n = {n}, r = {r}) ===\n");
-    for spec in [
-        DataSpec::Zipf { z: 2.0, domain: 100_000 },
-        DataSpec::UnifDup { copies: 100 },
-    ] {
+    for spec in [DataSpec::Zipf { z: 2.0, domain: 100_000 }, DataSpec::UnifDup { copies: 100 }] {
         let dataset = spec.generate(n, &mut rng);
         let mut sorted = dataset.values.clone();
         sorted.sort_unstable();

@@ -38,10 +38,7 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut m = MaintainedHistogram::new(50, 10_000, 0.25, &stream[..1_000], &mut rng);
         let mut inserted = 1_000usize;
-        println!(
-            "{:>10} {:>10} {:>14} {:>10}",
-            "inserted", "rebuilds", "max error f", "sample"
-        );
+        println!("{:>10} {:>10} {:>14} {:>10}", "inserted", "rebuilds", "max error f", "sample");
         for &cp in &checkpoints {
             m.insert_all(&stream[inserted..cp], &mut rng);
             inserted = cp;

@@ -63,10 +63,7 @@ fn main() {
         err.relative_max() * 100.0,
         f * 100.0
     );
-    assert!(
-        err.relative_max() <= f,
-        "the bound failed?! (probability ≤ {gamma})"
-    );
+    assert!(err.relative_max() <= f, "the bound failed?! (probability ≤ {gamma})");
 
     // 5. The histograms agree on shape.
     println!(

@@ -65,10 +65,7 @@ struct Flags(Vec<(String, Option<String>)>);
 
 impl Flags {
     fn get(&self, key: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.as_deref())
+        self.0.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, key: &str) -> bool {
@@ -78,10 +75,7 @@ impl Flags {
     fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         match self.get(key) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
 
@@ -95,9 +89,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut i = 0usize;
     while i < args.len() {
         let arg = &args[i];
-        let key = arg
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
+        let key =
+            arg.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got {arg:?}"))?;
         let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
         if value.is_some() {
             i += 2;
@@ -120,10 +113,7 @@ fn parse_dist(spec: &str, n: u64) -> Result<DataSpec, String> {
             .map_err(|_| format!("{name}: bad {what}"))
     };
     Ok(match name {
-        "zipf" => DataSpec::Zipf {
-            z: num(param, "Z")?,
-            domain: ((n / 10).max(1_000)) as usize,
-        },
+        "zipf" => DataSpec::Zipf { z: num(param, "Z")?, domain: ((n / 10).max(1_000)) as usize },
         "unifdup" => DataSpec::UnifDup { copies: num(param, "copies")? as u64 },
         "uniform" => DataSpec::UniformRandom { domain: 10 * n },
         "normal" => DataSpec::Normal { mean: 0.0, std_dev: num(param, "sd")? },
@@ -292,7 +282,13 @@ fn cmd_distinct(flags: &Flags) -> Result<String, String> {
                 abs_rel_error(e, d, n)
             ));
         } else {
-            out.push_str(&format!("{:<16} {:>12} {:>10} {:>10}\n", est.name(), "unstable", "-", "-"));
+            out.push_str(&format!(
+                "{:<16} {:>12} {:>10} {:>10}\n",
+                est.name(),
+                "unstable",
+                "-",
+                "-"
+            ));
         }
     }
     Ok(out)
@@ -338,18 +334,17 @@ mod tests {
 
     #[test]
     fn analyze_command_small() {
-        let out =
-            run(&argv("analyze --n 50000 --dist zipf:2 --buckets 50 --mode block:0.1")).expect("valid");
+        let out = run(&argv("analyze --n 50000 --dist zipf:2 --buckets 50 --mode block:0.1"))
+            .expect("valid");
         assert!(out.contains("ANALYZE Zipf(Z=2)"), "{out}");
         assert!(out.contains("max error"));
     }
 
     #[test]
     fn analyze_with_compressed_flag() {
-        let out = run(&argv(
-            "analyze --n 50000 --dist zipf:3 --buckets 20 --mode fullscan --compressed",
-        ))
-        .expect("valid");
+        let out =
+            run(&argv("analyze --n 50000 --dist zipf:3 --buckets 20 --mode fullscan --compressed"))
+                .expect("valid");
         assert!(out.contains("compressed"), "{out}");
         assert!(out.contains("heavy values"));
     }

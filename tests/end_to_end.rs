@@ -19,26 +19,23 @@ fn build_table(spec: DataSpec, n: u64, layout: Layout, seed: u64) -> (Table, Vec
     let dataset = spec.generate(n, &mut rng);
     let mut sorted = dataset.values.clone();
     sorted.sort_unstable();
-    let table = Table::builder("t")
-        .column("c", dataset.values, 64, layout, &mut rng)
-        .build();
+    let table = Table::builder("t").column("c", dataset.values, 64, layout, &mut rng).build();
     (table, sorted)
 }
 
 #[test]
 fn full_pipeline_zipf_random_layout() {
     let n = 200_000u64;
-    let (table, sorted) = build_table(
-        DataSpec::Zipf { z: 1.0, domain: 40_000 },
-        n,
-        Layout::Random,
-        1,
-    );
+    let (table, sorted) =
+        build_table(DataSpec::Zipf { z: 1.0, domain: 40_000 }, n, Layout::Random, 1);
     let mut rng = StdRng::seed_from_u64(2);
 
     // Adaptive statistics collection reads less than the full file.
-    let opts =
-        AnalyzeOptions { buckets: 100, mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 }, compressed: false };
+    let opts = AnalyzeOptions {
+        buckets: 100,
+        mode: AnalyzeMode::Adaptive { target_f: 0.2, gamma: 0.05 },
+        compressed: false,
+    };
     let stats = analyze(&table, "c", &opts, &mut rng).expect("column exists");
     let pages = table.column("c").expect("exists").file().num_blocks() as u64;
     assert!(
@@ -49,11 +46,9 @@ fn full_pipeline_zipf_random_layout() {
     );
 
     // The resulting statistics are accurate for range selectivity.
-    for pred in [
-        Predicate::Le(100),
-        Predicate::Between { low: 10, high: 5_000 },
-        Predicate::Gt(20_000),
-    ] {
+    for pred in
+        [Predicate::Le(100), Predicate::Between { low: 10, high: 5_000 }, Predicate::Gt(20_000)]
+    {
         let est = estimate_cardinality(&stats, &pred);
         let truth = pred.true_cardinality(&sorted) as f64;
         assert!(
@@ -86,8 +81,11 @@ fn full_pipeline_zipf_random_layout() {
 fn clustered_layout_forces_more_io_than_random() {
     let n = 120_000u64;
     let spec = DataSpec::UnifDup { copies: 50 };
-    let opts =
-        AnalyzeOptions { buckets: 50, mode: AnalyzeMode::Adaptive { target_f: 0.25, gamma: 0.05 }, compressed: false };
+    let opts = AnalyzeOptions {
+        buckets: 50,
+        mode: AnalyzeMode::Adaptive { target_f: 0.25, gamma: 0.05 },
+        compressed: false,
+    };
 
     let mut pages = Vec::new();
     for (layout, seed) in [(Layout::Random, 3), (Layout::Clustered, 4)] {
@@ -148,14 +146,22 @@ fn block_sampled_histogram_matches_record_sampled_quality_on_random_layout() {
     let block = analyze(
         &table,
         "c",
-        &AnalyzeOptions { buckets: 50, mode: AnalyzeMode::BlockSample { rate: 0.1 }, compressed: false },
+        &AnalyzeOptions {
+            buckets: 50,
+            mode: AnalyzeMode::BlockSample { rate: 0.1 },
+            compressed: false,
+        },
         &mut rng,
     )
     .expect("exists");
     let row = analyze(
         &table,
         "c",
-        &AnalyzeOptions { buckets: 50, mode: AnalyzeMode::RowSample { rate: 0.1 }, compressed: false },
+        &AnalyzeOptions {
+            buckets: 50,
+            mode: AnalyzeMode::RowSample { rate: 0.1 },
+            compressed: false,
+        },
         &mut rng,
     )
     .expect("exists");

@@ -80,11 +80,7 @@ fn gee_ratio_error_within_design_bound() {
         let e = Gee.estimate(&case.profile, N);
         let bound = (1.0 / rate).sqrt() + 1.0; // sqrt(n/r), +1 slack for clamping
         let err = ratio_error(e, case.d);
-        assert!(
-            err <= bound,
-            "{}: GEE ratio error {err} > design bound {bound}",
-            case.label
-        );
+        assert!(err <= bound, "{}: GEE ratio error {err} > design bound {bound}", case.label);
     }
 }
 
@@ -96,7 +92,8 @@ fn scale_up_fails_where_gee_does_not() {
     let mut scale_up_worst = 1.0f64;
     let mut gee_worst = 1.0f64;
     for (_, case) in cases() {
-        scale_up_worst = scale_up_worst.max(ratio_error(ScaleUp.estimate(&case.profile, N), case.d));
+        scale_up_worst =
+            scale_up_worst.max(ratio_error(ScaleUp.estimate(&case.profile, N), case.d));
         gee_worst = gee_worst.max(ratio_error(Gee.estimate(&case.profile, N), case.d));
     }
     assert!(
@@ -114,11 +111,7 @@ fn hybrid_dominates_gee_overall() {
     for (_, case) in cases() {
         let e_g = ratio_error(Gee.estimate(&case.profile, N), case.d);
         let e_h = ratio_error(hybrid.estimate(&case.profile, N), case.d);
-        assert!(
-            e_h <= e_g * 1.7 + 0.2,
-            "{}: hybrid {e_h} much worse than GEE {e_g}",
-            case.label
-        );
+        assert!(e_h <= e_g * 1.7 + 0.2, "{}: hybrid {e_h} much worse than GEE {e_g}", case.label);
         if e_h < e_g * 0.8 {
             hybrid_beats += 1;
         }

@@ -5,12 +5,12 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use samplehist::core::distinct::{all_estimators, FrequencyProfile};
 use samplehist::core::error::{fractional_max_error, max_error_against, summarize_counts};
-use samplehist::core::estimate::{RangeEstimator, true_range_count};
+use samplehist::core::estimate::{true_range_count, RangeEstimator};
 use samplehist::core::histogram::{bucket_counts, CompressedHistogram, EquiHeightHistogram};
 use samplehist::core::sampling::{self, cvb, CvbConfig, Schedule, SliceBlocks, ValidationMode};
 use samplehist::core::BlockSource;
-use samplehist::core::distinct::{all_estimators, FrequencyProfile};
 
 fn arbitrary_multiset() -> impl Strategy<Value = Vec<i64>> {
     // Mixtures of runs and singles, size 1..400, values in a small domain

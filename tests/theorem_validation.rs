@@ -94,10 +94,7 @@ fn separation_dominates_and_shrinks() {
         let sep = delta_separation(&h, &perfect, &data).max;
         let dev = max_error_against(&h, &data).delta_max;
         assert!(sep as f64 + 1e-9 >= dev, "r={r}: separation {sep} < deviation {dev}");
-        assert!(
-            sep <= previous,
-            "separation should shrink with r (was {previous}, now {sep})"
-        );
+        assert!(sep <= previous, "separation should shrink with r (was {previous}, now {sep})");
         previous = sep;
     }
 }
@@ -174,8 +171,7 @@ fn plan_verdicts_are_actionable() {
 
     let data: Vec<i64> = (0..n as i64).collect();
     let mut rng = StdRng::seed_from_u64(60);
-    let sample =
-        sampling::with_replacement(&data, plan.record_sample_size as usize, &mut rng);
+    let sample = sampling::with_replacement(&data, plan.record_sample_size as usize, &mut rng);
     let h = EquiHeightHistogram::from_unsorted_sample(sample, 30, n);
     assert!(max_error_against(&h, &data).relative_max() <= 0.25);
 }

@@ -1,0 +1,294 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds without crates.io access, so the API subset its
+//! `benches/perf_*.rs` targets use is vendored: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified from upstream): each benchmark first calibrates
+//! how many iterations fit in ~`MIN_SAMPLE_TIME`, then records
+//! `sample_size` timed samples of that batch size and reports the median
+//! and mean per-iteration time (plus throughput when declared). No
+//! statistical regression against saved baselines is performed, but the
+//! numbers are stable enough to compare within one run — which is how the
+//! workspace's perf benches use them (sort-vs-selection, serial-vs-
+//! parallel side by side).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Floor on the time one measured sample should occupy.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+/// Declared work per benchmark iteration, used for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter (upstream parity).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, reporting per-call statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many calls fill MIN_SAMPLE_TIME?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (MIN_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        samples.sort_unstable();
+        self.last_median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        self.last_mean = total / samples.len() as u32;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_throughput(t: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Elements(n) => {
+            let eps = n as f64 / secs;
+            if eps >= 1e9 {
+                format!("{:.3} Gelem/s", eps / 1e9)
+            } else if eps >= 1e6 {
+                format!("{:.3} Melem/s", eps / 1e6)
+            } else {
+                format!("{:.3} Kelem/s", eps / 1e3)
+            }
+        }
+        Throughput::Bytes(n) => {
+            let bps = n as f64 / secs;
+            if bps >= 1e9 {
+                format!("{:.3} GiB/s", bps / (1u64 << 30) as f64)
+            } else {
+                format!("{:.3} MiB/s", bps / (1u64 << 20) as f64)
+            }
+        }
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { sample_size, last_mean: Duration::ZERO, last_median: Duration::ZERO };
+    f(&mut b);
+    let mut line = format!(
+        "{full_id:<60} time: [median {} mean {}]",
+        fmt_duration(b.last_median),
+        fmt_duration(b.last_mean)
+    );
+    if let Some(t) = throughput {
+        line.push_str(&format!("  thrpt: {}", fmt_throughput(t, b.last_median)));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upstream-parity no-op (CLI args are ignored by the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().id, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size, throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_throughput(Throughput::Elements(1_000_000), Duration::from_millis(1))
+            .contains("Gelem/s"));
+    }
+}

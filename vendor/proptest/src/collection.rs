@@ -1,0 +1,77 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{Strategy, TestRunner};
+use rand::Rng;
+
+/// A range of collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive minimum length.
+    pub min: usize,
+    /// Inclusive maximum length.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = runner.rng().gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// Vectors of values from `element`, sized by `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_elements_respect_bounds() {
+        let mut runner = TestRunner::new("vec-bounds");
+        let s = vec(10i64..20, 3..6);
+        for _ in 0..200 {
+            let v = s.new_value(&mut runner);
+            assert!((3..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| (10..20).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn fixed_size_from_usize() {
+        let mut runner = TestRunner::new("vec-fixed");
+        let s = vec(0u64..5, 4usize);
+        assert_eq!(s.new_value(&mut runner).len(), 4);
+    }
+}

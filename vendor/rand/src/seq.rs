@@ -1,0 +1,168 @@
+//! Sequence helpers: in-place shuffling and sampling of index sets.
+
+use crate::Rng;
+
+/// Extension methods on slices (the subset of upstream `SliceRandom` the
+/// workspace uses).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// Sampling distinct indices from `0..length`.
+pub mod index {
+    use crate::Rng;
+
+    /// A set of distinct indices, in the order they were drawn.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Consume into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of indices drawn.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were drawn.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterate the drawn indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Draw `amount` distinct indices uniformly from `0..length`, in
+    /// draw order (a partial Fisher–Yates; sparse draws use a virtual
+    /// swap table so huge `length` costs O(amount) memory).
+    ///
+    /// # Panics
+    /// If `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} distinct indices from 0..{length}");
+        if amount == 0 {
+            return IndexVec(Vec::new());
+        }
+        if amount * 4 >= length {
+            // Dense: materialize and partially shuffle.
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        } else {
+            // Sparse: virtual Fisher–Yates over a swap map.
+            let mut swaps: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                let vj = *swaps.get(&j).unwrap_or(&j);
+                let vi = *swaps.get(&i).unwrap_or(&i);
+                swaps.insert(j, vi);
+                out.push(vj);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<i64> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut back = v.clone();
+        back.sort_unstable();
+        assert_eq!(back, (0..100).collect::<Vec<i64>>());
+        assert_ne!(v, back, "a 100-element shuffle virtually never is the identity");
+    }
+
+    #[test]
+    fn index_sample_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (length, amount) in [(10usize, 10usize), (1000, 30), (50, 20), (7, 0)] {
+            let ids = index::sample(&mut rng, length, amount).into_vec();
+            assert_eq!(ids.len(), amount);
+            assert!(ids.iter().all(|&i| i < length));
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), amount, "indices must be distinct");
+        }
+    }
+
+    #[test]
+    fn index_sample_full_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ids = index::sample(&mut rng, 64, 64).into_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..64).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn oversample_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = index::sample(&mut rng, 5, 6);
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i64; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
