@@ -53,7 +53,19 @@ fn main() {
     let n: usize =
         std::env::var("SAMPLEHIST_N").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_N);
     let threads = parallel::num_threads();
-    println!("pipeline bench: n = {n}, k = {BUCKETS}, threads = {threads}, reps = {REPS}");
+    // Run metadata: numbers from this harness are only comparable across
+    // machines with the hardware context attached (a 1-core container
+    // legitimately reports parallel == serial).
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let route = if samplehist_core::histogram::selection_profitable(n, BUCKETS) {
+        "selection"
+    } else {
+        "sort"
+    };
+    println!(
+        "pipeline bench: n = {n}, k = {BUCKETS}, threads = {threads}/{cores} cores, \
+         route = {route}, reps = {REPS}"
+    );
 
     let values = gen_values(n, 0x5A17);
 
@@ -101,7 +113,9 @@ fn main() {
             "{{\n",
             "  \"n\": {n},\n",
             "  \"buckets\": {k},\n",
+            "  \"detected_cores\": {cores},\n",
             "  \"threads\": {threads},\n",
+            "  \"construction_route\": \"{route}\",\n",
             "  \"reps\": {reps},\n",
             "  \"construction\": {{\n",
             "    \"before_sort_seconds\": {sort:.6},\n",
@@ -122,7 +136,9 @@ fn main() {
         ),
         n = n,
         k = BUCKETS,
+        cores = cores,
         threads = threads,
+        route = route,
         reps = REPS,
         sort = sort_s,
         sel = selection_s,

@@ -85,10 +85,17 @@ impl HistogramBuilder {
     pub fn sampled(&self, data: &[i64], rng: &mut impl Rng) -> EquiHeightHistogram {
         let n = data.len() as u64;
         let plan = self.plan(n);
+        let mut span = samplehist_obs::global().span("builder.sampled");
+        span.field("n", n);
+        span.field("buckets", self.buckets);
+        span.field("target_f", self.target_f);
         if plan.sampling_is_pointless() {
+            span.field("route", "full_scan");
             return self.exact(data);
         }
         let r = plan.record_sample_size as usize;
+        span.field("route", "sample");
+        span.field("r", r);
         let sample = if self.with_replacement {
             sampling::with_replacement(data, r, rng)
         } else {

@@ -135,10 +135,12 @@ impl EquiHeightHistogram {
         assert!(!values.is_empty(), "cannot build a histogram of an empty value set");
 
         if selection::selection_profitable(values.len(), k) {
+            samplehist_obs::global().counter("histogram.route.radix", 1);
             let total = values.len() as u64;
             let (separators, counts, min_value, max_value) = resolve_via_radix(&values, k);
             Self { separators, counts, total, min_value, max_value }
         } else {
+            samplehist_obs::global().counter("histogram.route.sort", 1);
             parallel::par_sort_unstable(&mut values);
             Self::from_sorted(&values, k)
         }
@@ -158,6 +160,7 @@ impl EquiHeightHistogram {
         );
 
         if selection::selection_profitable(sample.len(), k) {
+            samplehist_obs::global().counter("histogram.route.radix", 1);
             let (separators, sample_counts, min_value, max_value) = resolve_via_radix(&sample, k);
             let counts = scale_counts_largest_remainder(
                 &sample_counts,
@@ -166,6 +169,7 @@ impl EquiHeightHistogram {
             );
             Self { separators, counts, total: population_total, min_value, max_value }
         } else {
+            samplehist_obs::global().counter("histogram.route.sort", 1);
             parallel::par_sort_unstable(&mut sample);
             Self::from_sorted_sample(&sample, k, population_total)
         }

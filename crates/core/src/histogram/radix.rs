@@ -69,8 +69,13 @@ pub(super) fn resolve_ranks(values: &[i64], ranks: &[usize]) -> RankResolution {
     assert!(!values.is_empty(), "cannot resolve ranks of an empty value set");
     debug_assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "ranks must be ascending");
     debug_assert!(ranks.iter().all(|&r| r < values.len()), "ranks must be in range");
+    let mut span = samplehist_obs::global().span("radix.resolve");
+    span.field("n", values.len());
+    span.field("ranks", ranks.len());
     let (min, max) = selection::min_max(values);
     let entries = resolve_in_range(values, ranks, min, max);
+    span.field("span_bits", u64::BITS - max.abs_diff(min).leading_zeros());
+    span.finish();
     RankResolution { entries, min, max }
 }
 
@@ -82,6 +87,8 @@ fn resolve_in_range(values: &[i64], ranks: &[usize], min: i64, max: i64) -> Vec<
     if min == max {
         return vec![(min, values.len() as u64); ranks.len()];
     }
+    let recorder = samplehist_obs::global();
+    recorder.counter("radix.levels", 1);
     let span = max.abs_diff(min);
     let bits = u64::BITS - span.leading_zeros();
     let shift = if bits <= EXACT_BITS { 0 } else { bits - RADIX_BITS };
@@ -101,6 +108,7 @@ fn resolve_in_range(values: &[i64], ranks: &[usize], min: i64, max: i64) -> Vec<
 
     if shift == 0 {
         // One slice per distinct value: ranks resolve by prefix alone.
+        recorder.counter("radix.exact_levels", 1);
         let mut out = Vec::with_capacity(ranks.len());
         let mut s = 0usize;
         for &r in ranks {
@@ -149,13 +157,22 @@ fn resolve_in_range(values: &[i64], ranks: &[usize], min: i64, max: i64) -> Vec<
         .zip(gathered)
         .map(|((slice, locals), elems)| (slice, locals, elems))
         .collect();
+    if recorder.is_enabled() {
+        // The gathered residue is the skew-sensitive cost of this route
+        // (see ROADMAP on heavy Zipf slices) — surface it per level.
+        recorder.counter("radix.slices_gathered", work.len() as u64);
+        recorder
+            .counter("radix.values_gathered", work.iter().map(|(_, _, e)| e.len() as u64).sum());
+    }
     let resolved: Vec<Vec<(i64, u64)>> = parallel::par_map(&work, |(slice, locals, elems)| {
         let local = if elems.len() >= RECURSE_MIN {
             // Recurse with the slice's *actual* value range (tighter
             // than the slice bounds), shrinking the span per level.
+            samplehist_obs::global().counter("radix.slices_recursed", 1);
             let (lo, hi) = selection::min_max(elems);
             resolve_in_range(elems, locals, lo, hi)
         } else {
+            samplehist_obs::global().counter("radix.slices_sorted", 1);
             let mut sorted = elems.clone();
             sorted.sort_unstable();
             locals

@@ -66,6 +66,9 @@ pub fn separator_ranks(n: usize, k: usize) -> Vec<usize> {
 /// # Panics
 /// If `values` is empty or `k == 0`.
 pub fn select_separators(values: &mut [i64], k: usize) -> Vec<i64> {
+    let mut span = samplehist_obs::global().span("selection.select");
+    span.field("n", values.len());
+    span.field("buckets", k);
     select_partition(values, k).1
 }
 

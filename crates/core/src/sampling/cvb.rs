@@ -40,6 +40,7 @@
 //! ```
 
 use rand::Rng;
+use samplehist_obs::Recorder;
 
 use super::block::{BlockPermutation, BlockSource};
 use super::schedule::{Schedule, ScheduleContext};
@@ -162,6 +163,14 @@ pub struct CvbResult {
     /// Whether every block of the source was read (the histogram is then
     /// exact rather than approximate).
     pub exhausted: bool,
+    /// Number of cross-validation rounds actually executed
+    /// (`== rounds.len()`; surfaced separately so traces and tests can
+    /// assert convergence behavior without walking the round log).
+    pub rounds_executed: usize,
+    /// Whether the run stopped with block budget to spare: the
+    /// cross-validation test passed before the block cap (or the file)
+    /// was exhausted. `false` means the schedule ran to its maximum.
+    pub terminated_early: bool,
     /// Per-round trace.
     pub rounds: Vec<CvbRound>,
     /// Total blocks read — the algorithm's I/O cost.
@@ -214,6 +223,21 @@ impl CvbResult {
 /// # Panics
 /// If the source is empty or the configuration is invalid.
 pub fn run(source: &impl BlockSource, config: &CvbConfig, rng: &mut impl Rng) -> CvbResult {
+    run_traced(source, config, rng, &samplehist_obs::global())
+}
+
+/// [`run`] with an explicit [`Recorder`]: emits a `cvb.run` span with one
+/// `cvb.round` child per doubling round carrying the adaptive loop's
+/// decision record — blocks drawn, accumulated sample size `r`, the
+/// cross-validation error Δ̂ against the target `f`, and the
+/// accept/reject verdict. Recording is passive (no RNG draws, no
+/// feedback), so the result is bit-identical to an untraced run.
+pub fn run_traced(
+    source: &impl BlockSource,
+    config: &CvbConfig,
+    rng: &mut impl Rng,
+    recorder: &Recorder,
+) -> CvbResult {
     config.validate();
     assert!(source.num_blocks() > 0, "cannot sample an empty source");
     let n = source.num_tuples();
@@ -222,6 +246,13 @@ pub fn run(source: &impl BlockSource, config: &CvbConfig, rng: &mut impl Rng) ->
     let max_blocks =
         ((source.num_blocks() as f64 * config.max_block_fraction).ceil() as usize).max(1);
     let b = source.avg_tuples_per_block();
+
+    let mut run_span = recorder.span("cvb.run");
+    run_span.field("n", n);
+    run_span.field("blocks", source.num_blocks());
+    run_span.field("buckets", config.buckets);
+    run_span.field("target_f", config.target_f);
+    run_span.field("max_blocks", max_blocks);
 
     let mut permutation = BlockPermutation::new(source, rng);
     let mut accumulated: Vec<i64> = Vec::new();
@@ -244,6 +275,7 @@ pub fn run(source: &impl BlockSource, config: &CvbConfig, rng: &mut impl Rng) ->
         if fresh_ids.is_empty() {
             break;
         }
+        let mut round_span = run_span.child("cvb.round");
 
         // Collect and sort this round's tuples.
         let mut fresh: Vec<i64> = Vec::with_capacity((b * fresh_ids.len() as f64) as usize);
@@ -286,25 +318,50 @@ pub fn run(source: &impl BlockSource, config: &CvbConfig, rng: &mut impl Rng) ->
         });
 
         // Step 5: terminate once validation passes.
-        if let Some(err) = cv_error {
-            if err < config.target_f {
-                converged = true;
-                break;
+        let accepted = cv_error.is_some_and(|err| err < config.target_f);
+        round_span.field("round", round);
+        round_span.field("new_blocks", fresh_ids.len());
+        round_span.field("total_blocks", permutation.drawn());
+        round_span.field("r", accumulated.len());
+        round_span.field("target_f", config.target_f);
+        match cv_error {
+            // Round 1 has no histogram to validate; its verdict is that
+            // the loop must continue ("bootstrap").
+            None => round_span.field("verdict", "bootstrap"),
+            Some(err) => {
+                round_span.field("delta_hat", err);
+                round_span.field("verdict", if accepted { "accept" } else { "reject" });
             }
+        }
+        round_span.finish();
+        if accepted {
+            converged = true;
+            break;
         }
     }
 
     let exhausted = permutation.remaining() == 0;
     let histogram = histogram.expect("at least one round ran");
-    CvbResult {
+    let result = CvbResult {
         histogram,
         converged,
         exhausted,
+        rounds_executed: rounds.len(),
+        terminated_early: converged && permutation.drawn() < max_blocks,
         blocks_sampled: permutation.drawn(),
         tuples_sampled: accumulated.len() as u64,
         rounds,
         sample_sorted: accumulated,
-    }
+    };
+    run_span.field("rounds", result.rounds_executed);
+    run_span.field("converged", result.converged);
+    run_span.field("exhausted", result.exhausted);
+    run_span.field("terminated_early", result.terminated_early);
+    run_span.field("blocks_sampled", result.blocks_sampled);
+    run_span.field("tuples_sampled", result.tuples_sampled);
+    run_span.field("oversampling_factor", result.oversampling_factor(config, n));
+    run_span.finish();
+    result
 }
 
 /// Merge two sorted vectors (the accumulated sample and a fresh batch).
@@ -367,6 +424,8 @@ mod tests {
         let result = run(&src, &config, &mut rng);
         assert!(result.converged, "rounds: {:?}", result.rounds);
         assert!(!result.exhausted, "converged before a full scan");
+        assert_eq!(result.rounds_executed, result.rounds.len());
+        assert!(result.terminated_early, "convergence left block budget unused");
 
         // And the histogram it returns really is good: check true error.
         let mut sorted = data.clone();
@@ -449,6 +508,8 @@ mod tests {
         assert!(!result.converged);
         assert!(result.blocks_sampled <= 250);
         assert!(!result.exhausted);
+        assert!(!result.terminated_early, "ran the schedule to its cap");
+        assert_eq!(result.rounds_executed, result.rounds.len());
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub fn run(
 
     let n = source.num_tuples();
     let b = source.avg_tuples_per_block().max(1.0);
+    let mut span = samplehist_obs::global().span("double.run");
+    span.field("n", n);
+    span.field("buckets", config.buckets);
+    span.field("target_f", config.target_f);
     let mut permutation = BlockPermutation::new(source, rng);
 
     // Phase 1: the pilot.
@@ -112,6 +116,12 @@ pub fn run(
     }
     all.sort_unstable();
     let histogram = EquiHeightHistogram::from_sorted_sample(&all, config.buckets, n);
+
+    span.field("design_effect", deff);
+    span.field("pilot_blocks", pilot_ids.len());
+    span.field("phase2_blocks", phase2_ids.len());
+    span.field("tuples_sampled", all.len());
+    span.finish();
 
     DoubleSamplingResult {
         histogram,

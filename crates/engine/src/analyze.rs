@@ -1,6 +1,7 @@
 //! `ANALYZE` — building column statistics by scan or sample.
 
 use rand::Rng;
+use samplehist_obs::Recorder;
 
 use samplehist_core::distinct::{DistinctEstimator, FrequencyProfile, Gee};
 use samplehist_core::estimate::duplication_density;
@@ -120,6 +121,26 @@ pub fn analyze(
     options: &AnalyzeOptions,
     rng: &mut impl Rng,
 ) -> Result<ColumnStatistics, AnalyzeError> {
+    analyze_traced(table, column, options, rng, &samplehist_obs::global())
+}
+
+/// [`analyze`] with an explicit [`Recorder`]: the root `analyze` span
+/// covers the whole call, with `analyze.acquire` / `analyze.sort` /
+/// `analyze.build` / `analyze.estimate` children marking the phases.
+/// Samplers and the CVB loop report through the same recorder, so one
+/// trace shows the pipeline end to end. Pass [`Recorder::disabled`] (or
+/// call [`analyze`]) for an untraced run — results are bit-identical
+/// either way, since recording never touches the RNG stream.
+///
+/// # Panics
+/// On invalid options (zero buckets, rates outside (0,1], bad f/γ).
+pub fn analyze_traced(
+    table: &Table,
+    column: &str,
+    options: &AnalyzeOptions,
+    rng: &mut impl Rng,
+    recorder: &Recorder,
+) -> Result<ColumnStatistics, AnalyzeError> {
     assert!(options.buckets > 0, "need at least one bucket");
     let col = table.column(column).ok_or_else(|| AnalyzeError::UnknownColumn {
         table: table.name().to_string(),
@@ -128,10 +149,19 @@ pub fn analyze(
     let file = col.file();
     let n = file.num_tuples();
 
+    let mut root = recorder.span("analyze");
+    root.field("table", table.name().to_string());
+    root.field("column", column.to_string());
+    root.field("rows", n);
+    root.field("pages", file.num_pages());
+    root.field("buckets", options.buckets);
+
     // Acquire the (sorted) tuples statistics are computed from, plus the
     // I/O bill and whether they are the whole column.
+    let mut acquire = root.child("analyze.acquire");
     let (mut sample, io, method, is_full) = match options.mode {
         AnalyzeMode::FullScan => {
+            acquire.field("mode", "full_scan");
             let mut io = IoStats::new();
             let mut values = Vec::with_capacity(n as usize);
             for p in 0..file.num_pages() {
@@ -139,24 +169,40 @@ pub fn analyze(
                 io.charge_page(page.len());
                 values.extend_from_slice(page);
             }
+            // A scan reads every page in storage order: all sequential
+            // after the first fetch. Reported here because the scan reads
+            // blocks directly rather than via a metered sampler.
+            if recorder.is_enabled() && io.pages_read > 0 {
+                recorder.counter("storage.pages_read", io.pages_read);
+                recorder.counter("storage.tuples_read", io.tuples_read);
+                recorder.counter("storage.bytes_read", io.tuples_read * 8);
+                recorder.counter("storage.pages_sequential", io.pages_read - 1);
+                recorder.counter("storage.pages_random", 1);
+            }
             (values, io, "full scan".to_string(), true)
         }
         AnalyzeMode::RowSample { rate } => {
             assert!(rate > 0.0 && rate <= 1.0, "row-sampling rate must be in (0,1]");
+            acquire.field("mode", "row_sample");
+            acquire.field("rate", rate);
             let r = ((n as f64 * rate).ceil() as usize).max(1);
-            let mut sampler = RecordSampler::new();
+            let mut sampler = RecordSampler::with_recorder(recorder.clone());
             let values = sampler.sample(file, r, rng);
             (values, sampler.io(), format!("row sample {:.2}%", rate * 100.0), false)
         }
         AnalyzeMode::BlockSample { rate } => {
             assert!(rate > 0.0 && rate <= 1.0, "block-sampling rate must be in (0,1]");
+            acquire.field("mode", "block_sample");
+            acquire.field("rate", rate);
             let g = ((file.num_pages() as f64 * rate).ceil() as usize).clamp(1, file.num_pages());
-            let mut sampler = BlockSampler::new();
+            let mut sampler = BlockSampler::with_recorder(recorder.clone());
             let values = sampler.sample(file, g, rng);
             let full = g == file.num_pages();
             (values, sampler.io(), format!("block sample {:.2}%", rate * 100.0), full)
         }
         AnalyzeMode::Adaptive { target_f, gamma } => {
+            acquire.field("mode", "adaptive");
+            acquire.field("target_f", target_f);
             let b = file.avg_tuples_per_block().max(1.0);
             let initial_blocks =
                 (((5.0 * (n as f64).sqrt()) / b).ceil() as usize).clamp(1, file.num_pages());
@@ -168,7 +214,7 @@ pub fn analyze(
                 validation: ValidationMode::AllTuples,
                 max_block_fraction: 1.0,
             };
-            let result = cvb::run(file, &config, rng);
+            let result = cvb::run_traced(file, &config, rng, recorder);
             let io = IoStats {
                 pages_read: result.blocks_sampled as u64,
                 tuples_read: result.tuples_sampled,
@@ -181,10 +227,22 @@ pub fn analyze(
             (result.sample_sorted, io, method, result.exhausted)
         }
     };
+    acquire.field("pages_read", io.pages_read);
+    acquire.field("tuples_read", io.tuples_read);
+    acquire.field("sampling_rate", io.tuples_read as f64 / (n.max(1)) as f64);
+    acquire.finish();
+
     // Full scans and large samples dominate ANALYZE wall-clock here;
     // sort across cores (serial fallback below the parallel cutoff).
+    let mut sort_span = root.child("analyze.sort");
+    sort_span.field("n", sample.len());
     samplehist_parallel::par_sort_unstable(&mut sample);
+    sort_span.finish();
 
+    let mut build_span = root.child("analyze.build");
+    build_span.field("buckets", options.buckets);
+    build_span.field("route", if is_full { "exact" } else { "scaled_sample" });
+    build_span.field("compressed", options.compressed);
     let histogram = if is_full {
         EquiHeightHistogram::from_sorted(&sample, options.buckets)
     } else {
@@ -197,11 +255,19 @@ pub fn analyze(
             CompressedHistogram::from_sorted_sample(&sample, options.buckets, n)
         }
     });
+    build_span.finish();
 
+    let mut est_span = root.child("analyze.estimate");
     let profile = FrequencyProfile::from_sorted_sample(&sample);
     let distinct_in_sample = profile.distinct_in_sample();
     let distinct_estimate =
         if is_full { distinct_in_sample as f64 } else { Gee.estimate(&profile, n) };
+    est_span.field("distinct_in_sample", distinct_in_sample);
+    est_span.field("distinct_estimate", distinct_estimate);
+    est_span.finish();
+
+    root.field("method", method.clone());
+    root.field("sample_size", sample.len());
 
     Ok(ColumnStatistics {
         table: table.name().to_string(),

@@ -51,7 +51,7 @@ mod selectivity;
 mod stats;
 mod table;
 
-pub use analyze::{analyze, AnalyzeError, AnalyzeMode, AnalyzeOptions};
+pub use analyze::{analyze, analyze_traced, AnalyzeError, AnalyzeMode, AnalyzeOptions};
 pub use catalog::Catalog;
 pub use predicate::Predicate;
 pub use selectivity::{estimate_cardinality, estimate_equijoin, CardinalityEstimate};

@@ -1,0 +1,270 @@
+//! The structured-event model every sink consumes.
+
+use crate::json;
+
+/// A typed field value attached to events.
+///
+/// Deliberately small: everything the pipeline reports is an integer, a
+/// float, a flag, or a short label. `From` impls exist for the common
+/// source types so call sites read `span.field("blocks", g)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float (serialized as `null` when non-finite — JSON has no NaN).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Short label (route names, verdicts, methods).
+    Str(String),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => json::write_escaped(s, out),
+        }
+    }
+}
+
+/// Fields attached to a span end: `(key, value)` in attachment order.
+pub type FieldList = Vec<(&'static str, Value)>;
+
+/// One observation flowing from an instrumentation point to the sinks.
+///
+/// Timestamps (`t_us`) are microseconds of **monotonic** time since the
+/// owning [`crate::Recorder`] was created — wall-clock never enters the
+/// model, so traces are immune to clock steps and the recorder never
+/// perturbs anything the pipeline computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Recorder-unique span id (> 0).
+        id: u64,
+        /// Enclosing span, if any — this is what makes traces a tree.
+        parent: Option<u64>,
+        /// Instrumentation-point name, e.g. `"cvb.round"`.
+        name: &'static str,
+        /// Monotonic microseconds since the recorder's epoch.
+        t_us: u64,
+    },
+    /// A span closed; carries its duration and accumulated fields.
+    SpanEnd {
+        /// Id of the matching [`Event::SpanStart`].
+        id: u64,
+        /// Same name as the start event.
+        name: &'static str,
+        /// Monotonic microseconds since the recorder's epoch.
+        t_us: u64,
+        /// Monotonic nanoseconds between start and end.
+        dur_ns: u64,
+        /// Fields attached while the span was open.
+        fields: FieldList,
+    },
+    /// A monotonically accumulating count (pages read, tasks spawned, …).
+    Counter {
+        /// Metric name.
+        name: &'static str,
+        /// Amount to add.
+        delta: u64,
+        /// Monotonic microseconds since the recorder's epoch.
+        t_us: u64,
+    },
+    /// A point-in-time level (thread budget, sampling rate, …).
+    Gauge {
+        /// Metric name.
+        name: &'static str,
+        /// Current value.
+        value: f64,
+        /// Monotonic microseconds since the recorder's epoch.
+        t_us: u64,
+    },
+    /// One duration observation, aggregated by sinks into log-scale
+    /// timing histograms.
+    Timing {
+        /// Metric name.
+        name: &'static str,
+        /// Observed nanoseconds.
+        nanos: u64,
+        /// Monotonic microseconds since the recorder's epoch.
+        t_us: u64,
+    },
+}
+
+impl Event {
+    /// The discriminant as it appears in the JSONL `type` key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::Timing { .. } => "timing",
+        }
+    }
+
+    /// The instrumentation-point / metric name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SpanStart { name, .. }
+            | Event::SpanEnd { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Timing { name, .. } => name,
+        }
+    }
+
+    /// Serialize as one JSON object (no trailing newline). The schema is
+    /// fixed per `type` and round-trips through [`crate::json::parse`]:
+    ///
+    /// ```text
+    /// {"type":"span_start","id":2,"parent":1,"name":"cvb.round","t_us":17}
+    /// {"type":"span_end","id":2,"name":"cvb.round","t_us":420,"dur_ns":403000,"fields":{"round":1}}
+    /// {"type":"counter","name":"storage.pages_read","delta":40,"t_us":63}
+    /// {"type":"gauge","name":"parallel.threads","value":4,"t_us":70}
+    /// {"type":"timing","name":"parallel.chunk_ns","nanos":812,"t_us":75}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            Event::SpanStart { id, parent, name, t_us } => {
+                out.push_str(&format!(",\"id\":{id},\"parent\":"));
+                match parent {
+                    Some(p) => out.push_str(&p.to_string()),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"name\":");
+                json::write_escaped(name, &mut out);
+                out.push_str(&format!(",\"t_us\":{t_us}"));
+            }
+            Event::SpanEnd { id, name, t_us, dur_ns, fields } => {
+                out.push_str(&format!(",\"id\":{id},\"name\":"));
+                json::write_escaped(name, &mut out);
+                out.push_str(&format!(",\"t_us\":{t_us},\"dur_ns\":{dur_ns},\"fields\":{{"));
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(key, &mut out);
+                    out.push(':');
+                    value.write_json(&mut out);
+                }
+                out.push('}');
+            }
+            Event::Counter { name, delta, t_us } => {
+                out.push_str(",\"name\":");
+                json::write_escaped(name, &mut out);
+                out.push_str(&format!(",\"delta\":{delta},\"t_us\":{t_us}"));
+            }
+            Event::Gauge { name, value, t_us } => {
+                out.push_str(",\"name\":");
+                json::write_escaped(name, &mut out);
+                out.push_str(",\"value\":");
+                Value::F64(*value).write_json(&mut out);
+                out.push_str(&format!(",\"t_us\":{t_us}"));
+            }
+            Event::Timing { name, nanos, t_us } => {
+                out.push_str(",\"name\":");
+                json::write_escaped(name, &mut out);
+                out.push_str(&format!(",\"nanos\":{nanos},\"t_us\":{t_us}"));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_names() {
+        let e = Event::Counter { name: "x", delta: 1, t_us: 0 };
+        assert_eq!(e.kind(), "counter");
+        assert_eq!(e.name(), "x");
+        let e = Event::SpanStart { id: 1, parent: None, name: "s", t_us: 0 };
+        assert_eq!(e.kind(), "span_start");
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let e = Event::SpanEnd {
+            id: 2,
+            name: "cvb.round",
+            t_us: 9,
+            dur_ns: 100,
+            fields: vec![("round", 1usize.into()), ("verdict", "accept".into())],
+        };
+        let line = e.to_jsonl();
+        assert!(line.starts_with("{\"type\":\"span_end\""), "{line}");
+        assert!(line.contains("\"fields\":{\"round\":1,\"verdict\":\"accept\"}"), "{line}");
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event::Gauge { name: "g", value: f64::NAN, t_us: 0 };
+        assert!(e.to_jsonl().contains("\"value\":null"));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+}

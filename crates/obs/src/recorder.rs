@@ -1,0 +1,305 @@
+//! The thread-safe recording handle and its RAII span guard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Event, FieldList, Value};
+use crate::sink::Sink;
+
+/// A cheap, cloneable, thread-safe handle every instrumentation point
+/// records through.
+///
+/// The default handle is **disabled**: every operation is a branch on a
+/// `None` and returns immediately — no clock reads, no allocation, no
+/// locking — so instrumented hot paths cost nothing in production
+/// configurations that don't ask for a trace. An enabled handle fans
+/// each [`Event`] out to its sinks; sinks serialize internally, so one
+/// recorder may be shared freely across threads.
+///
+/// Recording never touches any RNG stream and never feeds back into the
+/// pipeline, so instrumented runs are bit-identical to bare runs (the
+/// determinism guard in `crates/core/tests/trace.rs` enforces this).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    sinks: Vec<Arc<dyn Sink>>,
+    next_id: AtomicU64,
+    epoch: Instant,
+}
+
+impl Inner {
+    fn emit(&self, event: Event) {
+        for sink in &self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Recorder(disabled)"),
+            Some(inner) => write!(f, "Recorder({} sinks)", inner.sinks.len()),
+        }
+    }
+}
+
+impl Recorder {
+    /// The no-op handle (also what [`Default`] yields).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled recorder feeding one sink.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Self::with_sinks(vec![sink])
+    }
+
+    /// An enabled recorder fanning events out to several sinks (e.g. a
+    /// JSONL file plus an aggregating Prometheus sink).
+    pub fn with_sinks(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                sinks,
+                next_id: AtomicU64::new(1),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Call sites may use this to skip
+    /// building expensive field values, but plain `counter`/`span` calls
+    /// are already free when disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the counter `name`.
+    #[inline]
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.emit(Event::Counter { name, delta, t_us: inner.now_us() });
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.emit(Event::Gauge { name, value, t_us: inner.now_us() });
+        }
+    }
+
+    /// Record one duration observation under `name` (aggregated by sinks
+    /// into log-scale histograms).
+    #[inline]
+    pub fn timing(&self, name: &'static str, nanos: u64) {
+        if let Some(inner) = &self.inner {
+            inner.emit(Event::Timing { name, nanos, t_us: inner.now_us() });
+        }
+    }
+
+    /// Time `f` and record it under `name`; when disabled, just runs `f`
+    /// without reading the clock.
+    #[inline]
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        if self.inner.is_none() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.timing(name, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Open a root span. The returned guard emits
+    /// [`Event::SpanStart`] now and [`Event::SpanEnd`] (with a monotonic
+    /// duration and any attached fields) when dropped.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with_parent(name, None)
+    }
+
+    fn span_with_parent(&self, name: &'static str, parent: Option<u64>) -> Span {
+        match &self.inner {
+            None => Span {
+                recorder: Recorder::disabled(),
+                id: 0,
+                name,
+                start: None,
+                fields: Vec::new(),
+            },
+            Some(inner) => {
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                inner.emit(Event::SpanStart { id, parent, name, t_us: inner.now_us() });
+                Span {
+                    recorder: self.clone(),
+                    id,
+                    name,
+                    start: Some(Instant::now()),
+                    fields: Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Ask every sink to flush buffered output (JSONL writers).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+/// RAII guard for one open span; create children with [`Span::child`]
+/// and attach fields with [`Span::field`]. Dropping it emits the
+/// matching end event with the span's monotonic duration.
+#[derive(Debug)]
+pub struct Span {
+    recorder: Recorder,
+    id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    fields: FieldList,
+}
+
+impl Span {
+    /// Whether this span actually records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Attach a field reported on the span's end event.
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.recorder.is_enabled() {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// Open a child span (no-op when the recorder is disabled).
+    pub fn child(&self, name: &'static str) -> Span {
+        self.recorder.span_with_parent(name, Some(self.id))
+    }
+
+    /// Close the span now (equivalent to dropping it; reads better at
+    /// call sites that would otherwise need an explicit `drop`).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.recorder.inner {
+            let dur_ns = self.start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            inner.emit(Event::SpanEnd {
+                id: self.id,
+                name: self.name,
+                t_us: inner.now_us(),
+                dur_ns,
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.counter("c", 1);
+        rec.gauge("g", 1.0);
+        rec.timing("t", 1);
+        let mut span = rec.span("s");
+        span.field("k", 1u64);
+        let child = span.child("c");
+        assert!(!child.is_enabled());
+        drop(child);
+        drop(span);
+        assert_eq!(rec.time("t", || 41 + 1), 42);
+    }
+
+    #[test]
+    fn spans_nest_and_close_with_fields() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        {
+            let mut root = rec.span("root");
+            root.field("n", 10u64);
+            {
+                let mut child = root.child("child");
+                child.field("verdict", "accept");
+            }
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4, "{events:?}");
+        let (root_id, child_parent) = match (&events[0], &events[1]) {
+            (
+                Event::SpanStart { id, parent: None, name: "root", .. },
+                Event::SpanStart { parent, name: "child", .. },
+            ) => (*id, *parent),
+            other => panic!("unexpected prefix {other:?}"),
+        };
+        assert_eq!(child_parent, Some(root_id));
+        match &events[2] {
+            Event::SpanEnd { name: "child", fields, .. } => {
+                assert_eq!(fields[0], ("verdict", Value::Str("accept".into())));
+            }
+            other => panic!("expected child end, got {other:?}"),
+        }
+        match &events[3] {
+            Event::SpanEnd { id, name: "root", fields, .. } => {
+                assert_eq!(*id, root_id);
+                assert_eq!(fields[0], ("n", Value::U64(10)));
+            }
+            other => panic!("expected root end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counters_and_timings_reach_all_sinks() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let rec = Recorder::with_sinks(vec![a.clone(), b.clone()]);
+        rec.counter("pages", 3);
+        rec.time("work", || std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.events().len(), 2);
+        match &a.events()[1] {
+            Event::Timing { name: "work", nanos, .. } => assert!(*nanos >= 1_000_000),
+            other => panic!("expected timing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        rec.counter("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.events().len(), 400);
+    }
+}

@@ -1,0 +1,259 @@
+//! Sinks: where recorded events go.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::timing::LogHistogram;
+
+/// A destination for recorded events. Implementations must serialize
+/// internally ([`crate::Recorder`] calls `record` from any thread).
+pub trait Sink: Send + Sync {
+    /// Consume one event.
+    fn record(&self, event: &Event);
+
+    /// Flush buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Test/introspection sink: keeps every event in memory, in arrival
+/// order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink lock").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink lock").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+/// Structured-event sink: one JSON object per line (JSONL), in the
+/// schema of [`Event::to_jsonl`]. Write errors are deliberately
+/// swallowed — observability must never take the pipeline down.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer (a `File`, a `Vec<u8>` in tests, …).
+    pub fn new(out: W) -> Self {
+        Self { out: Mutex::new(out) }
+    }
+
+    /// Run `f` with exclusive access to the underlying writer (tests use
+    /// this to read back a `Vec<u8>` buffer).
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        f(&mut self.out.lock().expect("sink lock"))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let line = event.to_jsonl();
+        let mut out = self.out.lock().expect("sink lock");
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("sink lock").flush();
+    }
+}
+
+#[derive(Debug, Default)]
+struct PromState {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    timings: BTreeMap<&'static str, LogHistogram>,
+    spans: BTreeMap<&'static str, LogHistogram>,
+}
+
+/// Aggregating sink rendering Prometheus-style text exposition:
+/// counters and gauges keep running values; timings and span durations
+/// are folded into [`LogHistogram`]s and rendered as cumulative
+/// histogram series. There is no HTTP listener here — callers embed
+/// [`PromSink::render`] wherever their scrape endpoint lives.
+#[derive(Debug, Default)]
+pub struct PromSink {
+    state: Mutex<PromState>,
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; dotted event names
+/// become underscored.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+impl PromSink {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of counter `name`, if it has ever been bumped.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.state.lock().expect("sink lock").counters.get(name).copied()
+    }
+
+    /// Snapshot of all counters, name-sorted.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().expect("sink lock");
+        state.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Snapshot of all gauges, name-sorted.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let state = self.state.lock().expect("sink lock");
+        state.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// Per-span-name duration statistics, name-sorted.
+    pub fn span_durations(&self) -> Vec<(String, LogHistogram)> {
+        let state = self.state.lock().expect("sink lock");
+        state.spans.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    /// Per-timing-name statistics, name-sorted.
+    pub fn timings(&self) -> Vec<(String, LogHistogram)> {
+        let state = self.state.lock().expect("sink lock");
+        state.timings.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    /// Prometheus text exposition of everything aggregated so far.
+    pub fn render(&self) -> String {
+        let state = self.state.lock().expect("sink lock");
+        let mut out = String::new();
+        for (name, value) in &state.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE samplehist_{name}_total counter\n"));
+            out.push_str(&format!("samplehist_{name}_total {value}\n"));
+        }
+        for (name, value) in &state.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE samplehist_{name} gauge\n"));
+            out.push_str(&format!("samplehist_{name} {value}\n"));
+        }
+        for (name, hist) in state.timings.iter().chain(state.spans.iter()) {
+            render_histogram(&mut out, &sanitize(name), hist);
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, hist: &LogHistogram) {
+    out.push_str(&format!("# TYPE samplehist_{name}_seconds histogram\n"));
+    let mut cumulative = 0u64;
+    for (upper_ns, count) in hist.buckets() {
+        cumulative += count;
+        let le = upper_ns as f64 / 1e9;
+        out.push_str(&format!("samplehist_{name}_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("samplehist_{name}_seconds_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+    out.push_str(&format!("samplehist_{name}_seconds_sum {}\n", hist.sum() as f64 / 1e9));
+    out.push_str(&format!("samplehist_{name}_seconds_count {}\n", hist.count()));
+}
+
+impl Sink for PromSink {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().expect("sink lock");
+        match event {
+            Event::Counter { name, delta, .. } => {
+                *state.counters.entry(name).or_insert(0) += delta;
+            }
+            Event::Gauge { name, value, .. } => {
+                state.gauges.insert(name, *value);
+            }
+            Event::Timing { name, nanos, .. } => {
+                state.timings.entry(name).or_default().observe(*nanos);
+            }
+            Event::SpanEnd { name, dur_ns, .. } => {
+                state.spans.entry(name).or_default().observe(*dur_ns);
+            }
+            Event::SpanStart { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn memory_sink_keeps_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&Event::Counter { name: "a", delta: 1, t_us: 0 });
+        sink.record(&Event::Counter { name: "b", delta: 2, t_us: 1 });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name(), "a");
+        assert_eq!(events[1].name(), "b");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.record(&Event::Counter { name: "x", delta: 1, t_us: 0 });
+        sink.record(&Event::Gauge { name: "y", value: 0.5, t_us: 1 });
+        let text = sink.with_writer(|w| String::from_utf8(w.clone()).expect("utf-8"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("valid json");
+        }
+    }
+
+    #[test]
+    fn prom_sink_aggregates_and_renders() {
+        let sink = PromSink::new();
+        sink.record(&Event::Counter { name: "storage.pages_read", delta: 3, t_us: 0 });
+        sink.record(&Event::Counter { name: "storage.pages_read", delta: 4, t_us: 1 });
+        sink.record(&Event::Gauge { name: "parallel.threads", value: 2.0, t_us: 2 });
+        sink.record(&Event::Timing { name: "chunk", nanos: 1_000, t_us: 3 });
+        sink.record(&Event::SpanEnd {
+            id: 1,
+            name: "cvb.round",
+            t_us: 4,
+            dur_ns: 2_000_000,
+            fields: Vec::new(),
+        });
+        assert_eq!(sink.counter_value("storage.pages_read"), Some(7));
+        let text = sink.render();
+        assert!(text.contains("samplehist_storage_pages_read_total 7"), "{text}");
+        assert!(text.contains("samplehist_parallel_threads 2"), "{text}");
+        assert!(text.contains("samplehist_cvb_round_seconds_count 1"), "{text}");
+        assert!(text.contains("le=\"+Inf\"}} 1") || text.contains("le=\"+Inf\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn sanitizer_maps_dots_to_underscores() {
+        assert_eq!(sanitize("cvb.round"), "cvb_round");
+        assert_eq!(sanitize("a:b-c d"), "a:b_c_d");
+    }
+}

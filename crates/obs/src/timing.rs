@@ -1,0 +1,187 @@
+//! Log-scale (power-of-two) histograms for durations and sizes.
+
+/// A histogram with logarithmic buckets: bucket `i` covers
+/// `[2^(i-1), 2^i)` (bucket 0 holds exactly the value 0). 64 buckets
+/// cover the whole `u64` range, so recording never saturates or
+/// allocates — the struct is a fixed 600-odd bytes and `observe` is a
+/// shift plus two adds, cheap enough for per-chunk timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Bucket index of `value`: its bit length, clamped to the last
+    /// bucket (unreachable for realistic nanosecond values).
+    fn bucket(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(63)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the `q`-quantile
+    /// (`q` in [0,1]); `None` when empty. Log-bucketed, so the answer is
+    /// correct to within 2×, which is what a latency summary needs.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Exclusive upper bound of bucket `i` (`1` for bucket 0, else `2^i`).
+    fn upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else if i >= 63 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Non-empty tail of the bucket table as `(upper_bound, count)` pairs
+    /// in increasing bound order — the shape Prometheus exposition needs
+    /// (the caller accumulates for cumulative `le` counts).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        (0..=last).map(|i| (Self::upper_bound(i), self.counts[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket(0), 0);
+        assert_eq!(LogHistogram::bucket(1), 1);
+        assert_eq!(LogHistogram::bucket(2), 2);
+        assert_eq!(LogHistogram::bucket(3), 2);
+        assert_eq!(LogHistogram::bucket(4), 3);
+        assert_eq!(LogHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn stats_track_observations() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_within_a_factor_of_two() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((256..=1024).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), Some(1024));
+        assert!(LogHistogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = LogHistogram::new();
+        a.observe(5);
+        let mut b = LogHistogram::new();
+        b.observe(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(500));
+    }
+
+    #[test]
+    fn buckets_expose_nonzero_prefix() {
+        let mut h = LogHistogram::new();
+        h.observe(0);
+        h.observe(3);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 3, "{buckets:?}");
+        assert_eq!(buckets[0], (1, 1));
+        assert_eq!(buckets[2], (4, 1));
+        assert!(LogHistogram::new().buckets().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Schema round-trip: every event the recorder can emit serializes to
+//! one JSONL line that the crate's own parser accepts, with the fixed
+//! per-type key set `histstat --check` validates in CI.
+
+use std::sync::Arc;
+
+use samplehist_obs::json::{self, Json};
+use samplehist_obs::{JsonlSink, Recorder};
+
+fn trace_lines() -> Vec<String> {
+    let sink = Arc::new(JsonlSink::new(Vec::<u8>::new()));
+    let recorder = Recorder::new(sink.clone());
+    {
+        let mut root = recorder.span("analyze");
+        root.field("rows", 20_000u64);
+        root.field("column", "amount \"quoted\" — naïve");
+        root.field("rate", 0.05f64);
+        root.field("nan", f64::NAN);
+        root.field("negative", -3i64);
+        root.field("converged", true);
+        {
+            let mut round = root.child("cvb.round");
+            round.field("round", 1usize);
+            round.field("verdict", "bootstrap");
+        }
+        recorder.counter("storage.pages_read", 40);
+        recorder.gauge("parallel.threads", 4.0);
+        recorder.timing("parallel.chunk_ns", 812);
+    }
+    recorder.flush();
+    let text = sink.with_writer(|w| String::from_utf8(w.clone()).expect("utf-8"));
+    text.lines().map(str::to_string).collect()
+}
+
+fn require(obj: &Json, key: &str) -> Json {
+    obj.get(key).unwrap_or_else(|| panic!("missing {key:?} in {obj:?}")).clone()
+}
+
+#[test]
+fn every_line_parses_with_the_required_keys() {
+    let lines = trace_lines();
+    // 2 starts + 2 ends + counter + gauge + timing.
+    assert_eq!(lines.len(), 7, "{lines:#?}");
+    for line in &lines {
+        let obj = json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let kind = require(&obj, "type");
+        let kind = kind.as_str().expect("type is a string");
+        require(&obj, "t_us").as_u64().expect("t_us is an integer");
+        match kind {
+            "span_start" => {
+                require(&obj, "id").as_u64().expect("id");
+                require(&obj, "name").as_str().expect("name");
+                let parent = require(&obj, "parent");
+                assert!(parent.is_null() || parent.as_u64().is_some());
+            }
+            "span_end" => {
+                require(&obj, "id").as_u64().expect("id");
+                require(&obj, "name").as_str().expect("name");
+                require(&obj, "dur_ns").as_u64().expect("dur_ns");
+                assert!(matches!(require(&obj, "fields"), Json::Obj(_)));
+            }
+            "counter" => {
+                require(&obj, "name").as_str().expect("name");
+                require(&obj, "delta").as_u64().expect("delta");
+            }
+            "gauge" => {
+                require(&obj, "name").as_str().expect("name");
+                require(&obj, "value").as_f64().expect("value");
+            }
+            "timing" => {
+                require(&obj, "name").as_str().expect("name");
+                require(&obj, "nanos").as_u64().expect("nanos");
+            }
+            other => panic!("unknown event type {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn field_values_round_trip_through_the_parser() {
+    let lines = trace_lines();
+    let root_end = lines
+        .iter()
+        .map(|l| json::parse(l).expect("valid"))
+        .find(|o| {
+            o.get("type").and_then(Json::as_str) == Some("span_end")
+                && o.get("name").and_then(Json::as_str) == Some("analyze")
+        })
+        .expect("root span end present");
+    let fields = require(&root_end, "fields");
+    assert_eq!(fields.get("rows").and_then(Json::as_u64), Some(20_000));
+    assert_eq!(fields.get("column").and_then(Json::as_str), Some("amount \"quoted\" — naïve"));
+    assert_eq!(fields.get("rate").and_then(Json::as_f64), Some(0.05));
+    assert!(fields.get("nan").expect("nan key kept").is_null(), "NaN serializes as null");
+    assert_eq!(fields.get("negative").and_then(Json::as_f64), Some(-3.0));
+    assert_eq!(fields.get("converged").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn span_ids_pair_up_across_the_trace() {
+    let lines = trace_lines();
+    let mut open = std::collections::HashSet::new();
+    for line in &lines {
+        let obj = json::parse(line).expect("valid");
+        match obj.get("type").and_then(Json::as_str) {
+            Some("span_start") => {
+                assert!(open.insert(obj.get("id").and_then(Json::as_u64).expect("id")));
+            }
+            Some("span_end") => {
+                assert!(open.remove(&obj.get("id").and_then(Json::as_u64).expect("id")));
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans: {open:?}");
+}

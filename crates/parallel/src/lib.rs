@@ -28,11 +28,22 @@
 //! honest. The `*_threads` variants take an explicit count so tests can
 //! exercise the parallel paths deterministically without touching global
 //! state.
+//!
+//! ## Observability
+//!
+//! The parallel branches report their fan-out through the process-wide
+//! [`samplehist_obs::global`] recorder: `parallel.tasks_spawned` /
+//! `parallel.*.calls` counters, a `parallel.threads` gauge, and
+//! per-chunk `parallel.chunk_ns` / `parallel.sort_chunk_ns` timings.
+//! With no recorder installed (the default) each check is one relaxed
+//! atomic load; serial fallbacks are never instrumented, so the
+//! single-thread path stays exactly as cheap as before.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Worker-thread budget: `SAMPLEHIST_THREADS` if set and positive,
 /// otherwise the machine's available parallelism. Cached after first read.
@@ -56,6 +67,7 @@ where
     RA: Send,
     RB: Send,
 {
+    samplehist_obs::global().counter("parallel.join.calls", 1);
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
@@ -89,14 +101,25 @@ where
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads);
+    let recorder = samplehist_obs::global();
+    if recorder.is_enabled() {
+        recorder.counter("parallel.par_map.calls", 1);
+        recorder.counter("parallel.tasks_spawned", items.len().div_ceil(chunk) as u64);
+        recorder.gauge("parallel.threads", threads as f64);
+    }
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     std::thread::scope(|s| {
         for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
+            let recorder = &recorder;
             s.spawn(move || {
+                let start = recorder.is_enabled().then(Instant::now);
                 for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
                     *slot = Some(f(item));
+                }
+                if let Some(start) = start {
+                    recorder.timing("parallel.chunk_ns", start.elapsed().as_nanos() as u64);
                 }
             });
         }
@@ -137,17 +160,32 @@ pub fn par_sort_unstable_threads<T: Ord + Copy + Send + Sync>(threads: usize, v:
         return;
     }
     let chunk_len = v.len().div_ceil(threads);
+    let recorder = samplehist_obs::global();
+    if recorder.is_enabled() {
+        recorder.counter("parallel.par_sort.calls", 1);
+        // All runs but the last sort on spawned threads.
+        recorder.counter("parallel.tasks_spawned", (v.len().div_ceil(chunk_len) - 1) as u64);
+        recorder.gauge("parallel.threads", threads as f64);
+    }
     std::thread::scope(|s| {
         let mut rest: &mut [T] = v;
         while rest.len() > chunk_len {
             let (head, tail) = rest.split_at_mut(chunk_len);
-            s.spawn(|| head.sort_unstable());
+            let recorder = &recorder;
+            s.spawn(move || {
+                let start = recorder.is_enabled().then(Instant::now);
+                head.sort_unstable();
+                if let Some(start) = start {
+                    recorder.timing("parallel.sort_chunk_ns", start.elapsed().as_nanos() as u64);
+                }
+            });
             rest = tail;
         }
         rest.sort_unstable();
     });
     // Merge the sorted runs in one pass. A binary heap of (head, run)
     // keyed on the run's current front gives O(n log t) with t = threads.
+    let merge_start = recorder.is_enabled().then(Instant::now);
     let runs: Vec<&[T]> = v.chunks(chunk_len).collect();
     let mut merged: Vec<T> = Vec::with_capacity(v.len());
     let mut heads: Vec<usize> = vec![0; runs.len()];
@@ -166,6 +204,9 @@ pub fn par_sort_unstable_threads<T: Ord + Copy + Send + Sync>(threads: usize, v:
         }
     }
     v.copy_from_slice(&merged);
+    if let Some(start) = merge_start {
+        recorder.timing("parallel.sort_merge_ns", start.elapsed().as_nanos() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +278,34 @@ mod tests {
     #[should_panic(expected = "parallel task panicked")]
     fn panics_propagate() {
         let _ = join(|| 1, || panic!("boom"));
+    }
+
+    #[test]
+    fn fanout_is_reported_when_a_recorder_is_installed() {
+        // Installs the process-global recorder: other tests in this
+        // binary may also record into the sink, so assertions are
+        // lower bounds on *our* traffic, checked via counter totals.
+        use samplehist_obs::{MemorySink, PromSink, Recorder};
+        use std::sync::Arc;
+        let prom = Arc::new(PromSink::new());
+        let mem = Arc::new(MemorySink::new());
+        samplehist_obs::set_global(Recorder::with_sinks(vec![prom.clone(), mem.clone()]));
+
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_threads(4, &items, |&x| x + 1);
+        assert_eq!(out.len(), 1000);
+        assert!(prom.counter_value("parallel.tasks_spawned").unwrap_or(0) >= 4);
+        assert!(prom.counter_value("parallel.par_map.calls").unwrap_or(0) >= 1);
+
+        let mut v: Vec<i64> = (0..PAR_SORT_MIN as i64).rev().collect();
+        par_sort_unstable_threads(4, &mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert!(prom.counter_value("parallel.par_sort.calls").unwrap_or(0) >= 1);
+        let chunk_timings = mem
+            .events()
+            .iter()
+            .filter(|e| e.name() == "parallel.chunk_ns" || e.name() == "parallel.sort_chunk_ns")
+            .count();
+        assert!(chunk_timings >= 4, "per-chunk timings recorded, got {chunk_timings}");
     }
 }

@@ -8,22 +8,55 @@
 //! rates almost every fetch is a distinct page).
 
 use rand::Rng;
+use samplehist_obs::Recorder;
 
 use crate::heap_file::HeapFile;
 use crate::io::IoStats;
 use crate::page::PageId;
+
+/// Bytes one stored tuple occupies in the simulated heap file (`i64`
+/// values throughout) — used for the `storage.bytes_read` counter.
+const TUPLE_BYTES: u64 = 8;
+
+/// Report one batch of page reads to `recorder`: totals plus the
+/// sequential-vs-random split (a fetch is *sequential* when it hits the
+/// page directly after the previous fetch — the distinction that decides
+/// whether block sampling I/O behaves like a scan or like seeks).
+fn record_page_reads(recorder: &Recorder, kind: &'static str, pages: &[usize], tuples: u64) {
+    if !recorder.is_enabled() || pages.is_empty() {
+        return;
+    }
+    let sequential = pages.windows(2).filter(|w| w[1] == w[0].wrapping_add(1)).count() as u64;
+    let mut span = recorder.span("storage.read");
+    span.field("kind", kind);
+    span.field("pages", pages.len());
+    span.field("tuples", tuples);
+    recorder.counter("storage.pages_read", pages.len() as u64);
+    recorder.counter("storage.tuples_read", tuples);
+    recorder.counter("storage.bytes_read", tuples * TUPLE_BYTES);
+    recorder.counter("storage.pages_sequential", sequential);
+    recorder.counter("storage.pages_random", pages.len() as u64 - sequential);
+}
 
 /// Page-grained sampler: draws whole pages without replacement and
 /// charges one page read per page.
 #[derive(Debug, Default)]
 pub struct BlockSampler {
     io: IoStats,
+    recorder: Recorder,
 }
 
 impl BlockSampler {
-    /// New sampler with a zeroed meter.
+    /// New sampler with a zeroed meter, reporting to the process-global
+    /// recorder (a no-op unless one is installed).
     pub fn new() -> Self {
-        Self::default()
+        Self { io: IoStats::new(), recorder: samplehist_obs::global() }
+    }
+
+    /// New sampler reporting to an explicit recorder (what
+    /// `engine::analyze_traced` wires through).
+    pub fn with_recorder(recorder: Recorder) -> Self {
+        Self { io: IoStats::new(), recorder }
     }
 
     /// Bernoulli (SYSTEM-style) page sampling: include each page
@@ -49,13 +82,16 @@ impl BlockSampler {
         let expected =
             (fraction * file.num_pages() as f64).ceil() as usize * file.blocking_factor();
         let mut out = Vec::with_capacity(expected);
+        let mut pages = Vec::new();
         for p in 0..file.num_pages() {
             if rng.gen::<f64>() < fraction {
                 let page = file.page(PageId(p as u32));
                 self.io.charge_page(page.len());
                 out.extend_from_slice(page);
+                pages.push(p);
             }
         }
+        record_page_reads(&self.recorder, "bernoulli_sample", &pages, out.len() as u64);
         out
     }
 
@@ -69,13 +105,15 @@ impl BlockSampler {
             "cannot sample {g} of {} pages without replacement",
             file.num_pages()
         );
-        let ids = rand::seq::index::sample(rng, file.num_pages(), g);
+        let ids: Vec<usize> =
+            rand::seq::index::sample(rng, file.num_pages(), g).into_iter().collect();
         let mut out = Vec::with_capacity(g * file.blocking_factor());
-        for id in ids {
+        for &id in &ids {
             let page = file.page(PageId(id as u32));
             self.io.charge_page(page.len());
             out.extend_from_slice(page);
         }
+        record_page_reads(&self.recorder, "block_sample", &ids, out.len() as u64);
         out
     }
 
@@ -93,29 +131,42 @@ impl BlockSampler {
 #[derive(Debug, Default)]
 pub struct RecordSampler {
     io: IoStats,
+    recorder: Recorder,
 }
 
 impl RecordSampler {
-    /// New sampler with a zeroed meter.
+    /// New sampler with a zeroed meter, reporting to the process-global
+    /// recorder (a no-op unless one is installed).
     pub fn new() -> Self {
-        Self::default()
+        Self { io: IoStats::new(), recorder: samplehist_obs::global() }
+    }
+
+    /// New sampler reporting to an explicit recorder.
+    pub fn with_recorder(recorder: Recorder) -> Self {
+        Self { io: IoStats::new(), recorder }
     }
 
     /// Draw `r` tuples with replacement.
     pub fn sample(&mut self, file: &HeapFile, r: usize, rng: &mut impl Rng) -> Vec<i64> {
         let n = file.num_tuples();
         let mut out = Vec::with_capacity(r);
+        let mut pages = Vec::new();
+        let track = self.recorder.is_enabled();
         for _ in 0..r {
             let idx = rng.gen_range(0..n);
-            let (value, _page) = file.tuple(idx);
+            let (value, page) = file.tuple(idx);
             // One page fault per tuple: even if two draws hit the same
             // page, a tuple-at-a-time executor has no way to know in
             // advance and pays the fetch (no buffer-pool modeling here —
             // the paper's cost argument is about the no-cache worst case).
             self.io.pages_read += 1;
             self.io.tuples_read += 1;
+            if track {
+                pages.push(page.0 as usize);
+            }
             out.push(value);
         }
+        record_page_reads(&self.recorder, "record_sample", &pages, out.len() as u64);
         out
     }
 
