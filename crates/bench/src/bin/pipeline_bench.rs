@@ -1,24 +1,33 @@
-//! Before/after wall-clock of the histogram construction pipeline:
-//! sort-based vs selection-based construction and serial vs parallel
-//! primitives, written to `BENCH_pipeline.json` at the repo root.
+//! Before/after wall-clock of the histogram construction pipeline across
+//! construction routes and data shapes, written to `BENCH_pipeline.json`
+//! at the repo root.
 //!
 //! ```text
 //! cargo run --release -p samplehist-bench --bin pipeline_bench
 //! SAMPLEHIST_N=1000000 cargo run --release -p samplehist-bench --bin pipeline_bench
+//! cargo run --release -p samplehist-bench --bin pipeline_bench -- --route radix --route sort
+//! cargo run --release -p samplehist-bench --bin pipeline_bench -- --check BENCH_pipeline.json
 //! ```
 //!
 //! "Before" is the seed pipeline: clone + full `sort_unstable` +
-//! `EquiHeightHistogram::from_sorted`. "After" is
-//! `EquiHeightHistogram::from_unsorted`, which routes large inputs
-//! through O(n log k) multi-rank selection. Every timed repetition also
-//! asserts the two paths produce byte-identical histograms.
+//! `from_sorted`. "After" is `from_unsorted_with_route` per explicit
+//! route (selection at uniform shapes, radix with skew-aware slice
+//! refinement on heavy-duplicate Zipf) plus the sort-free
+//! `CompressedHistogram::from_unsorted`. Every timed repetition asserts
+//! the candidate is byte-identical to the sort-path reference. `--check`
+//! validates an existing result file against the JSON schema (the CI
+//! gate — same hand-rolled parser the trace validator uses).
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use samplehist_core::distinct::FrequencyProfile;
-use samplehist_core::histogram::EquiHeightHistogram;
+use samplehist_core::histogram::{CompressedHistogram, ConstructionRoute, EquiHeightHistogram};
+use samplehist_data::DataSpec;
+use samplehist_obs::json::{self, Json};
 use samplehist_parallel as parallel;
 
 /// Paper-scale default (Section 7 used N = 10,000,000).
@@ -27,13 +36,33 @@ const DEFAULT_N: usize = 10_000_000;
 const BUCKETS: usize = 600;
 /// Timed repetitions per measurement; the minimum is reported.
 const REPS: usize = 3;
+/// Output / `--check` default path.
+const OUT_PATH: &str = "BENCH_pipeline.json";
 
-fn gen_values(n: usize, seed: u64) -> Vec<i64> {
-    // Duplicate-heavy: ~10 copies per distinct value on average, the
-    // regime where both bucket counting and profiling do real work.
+const ALL_ROUTES: [ConstructionRoute; 4] = [
+    ConstructionRoute::Auto,
+    ConstructionRoute::Sort,
+    ConstructionRoute::Selection,
+    ConstructionRoute::Radix,
+];
+
+/// Duplicate-heavy uniform: ~10 copies per distinct value on average, the
+/// regime where both bucket counting and profiling do real work.
+fn uniform_dup(n: usize, seed: u64) -> Vec<i64> {
     let domain = (n as i64 / 10).max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+/// Shuffled Zipf(z = 1): the skewed shape the radix refinement targets.
+/// `materialize_exact` emits values grouped and ascending; shuffle so the
+/// unsorted paths don't hand pdqsort a pre-sorted run.
+fn zipf_shuffled(n: usize) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut values =
+        DataSpec::Zipf { z: 1.0, domain: (n / 10).max(1000) }.generate(n as u64, &mut rng).values;
+    values.shuffle(&mut rng);
+    values
 }
 
 /// Minimum wall-clock seconds of `f` over [`REPS`] runs.
@@ -49,7 +78,220 @@ fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("REPS >= 1"))
 }
 
-fn main() {
+/// One measurement row of the output file.
+struct Row {
+    distribution: &'static str,
+    kind: &'static str,
+    route: &'static str,
+    seconds: f64,
+    speedup_vs_sort: f64,
+}
+
+/// Equi-height rows (one per requested route, sort baseline always timed)
+/// plus the compressed sort vs sort-free pair, for one data shape.
+fn bench_distribution(
+    name: &'static str,
+    values: &[i64],
+    routes: &[ConstructionRoute],
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let (sort_s, reference) = time_min(|| {
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        EquiHeightHistogram::from_sorted(&v, BUCKETS)
+    });
+    rows.push(Row {
+        distribution: name,
+        kind: "equi_height",
+        route: "sort",
+        seconds: sort_s,
+        speedup_vs_sort: 1.0,
+    });
+    for &route in routes {
+        if matches!(route, ConstructionRoute::Sort) {
+            continue; // already measured as the baseline
+        }
+        // Sort and selection consume/rearrange their input, so a caller
+        // keeping the column pays a defensive copy — timed, like the
+        // baseline's. Radix only reads it: no copy to pay.
+        let mutates = !matches!(route.resolve(values.len(), BUCKETS), ConstructionRoute::Radix);
+        let mut keep = if mutates { Vec::new() } else { values.to_vec() };
+        let (route_s, candidate) = time_min(|| {
+            if mutates {
+                let mut v = values.to_vec();
+                EquiHeightHistogram::from_unsorted_with_route(&mut v, BUCKETS, route)
+            } else {
+                EquiHeightHistogram::from_unsorted_with_route(&mut keep, BUCKETS, route)
+            }
+        });
+        assert_eq!(
+            candidate, reference,
+            "{name}: route {:?} must be byte-identical to the sort path",
+            route
+        );
+        rows.push(Row {
+            distribution: name,
+            kind: "equi_height",
+            route: route.as_str(),
+            seconds: route_s,
+            speedup_vs_sort: sort_s / route_s,
+        });
+        println!(
+            "{name}: equi_height {route} {route_s:.3}s vs sort {sort_s:.3}s  ({speedup:.2}x)",
+            route = route.as_str(),
+            speedup = sort_s / route_s,
+        );
+    }
+
+    // Compressed: seed path (clone + sort + from_sorted) vs the sort-free
+    // rank-probing path, which never needs a mutable copy at all.
+    let (csort_s, creference) = time_min(|| {
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        CompressedHistogram::from_sorted(&v, BUCKETS)
+    });
+    let (cfree_s, ccandidate) = time_min(|| CompressedHistogram::from_unsorted(values, BUCKETS));
+    assert_eq!(ccandidate, creference, "{name}: sort-free compressed must match the sort path");
+    rows.push(Row {
+        distribution: name,
+        kind: "compressed",
+        route: "sort",
+        seconds: csort_s,
+        speedup_vs_sort: 1.0,
+    });
+    rows.push(Row {
+        distribution: name,
+        kind: "compressed",
+        route: "sortfree",
+        seconds: cfree_s,
+        speedup_vs_sort: csort_s / cfree_s,
+    });
+    println!(
+        "{name}: compressed sortfree {cfree_s:.3}s vs sort {csort_s:.3}s  ({:.2}x)",
+        csort_s / cfree_s
+    );
+    rows
+}
+
+// -- `--check`: schema validation of a result file ----------------------
+
+fn require_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing/non-integer {key:?}"))
+}
+
+fn require_positive_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    match obj.get(key).and_then(Json::as_f64) {
+        Some(v) if v > 0.0 => Ok(v),
+        Some(v) => Err(format!("{key:?} must be > 0, got {v}")),
+        None => Err(format!("missing/non-numeric {key:?}")),
+    }
+}
+
+fn require_str_in(obj: &Json, key: &str, allowed: &[&str]) -> Result<(), String> {
+    match obj.get(key).and_then(Json::as_str) {
+        Some(s) if allowed.contains(&s) => Ok(()),
+        Some(s) => Err(format!("{key:?} = {s:?} not in {allowed:?}")),
+        None => Err(format!("missing {key:?}")),
+    }
+}
+
+fn check_row(row: &Json) -> Result<(), String> {
+    require_str_in(row, "distribution", &["uniform_dup", "zipf_shuffled"])?;
+    require_str_in(row, "kind", &["equi_height", "compressed"])?;
+    require_str_in(row, "route", &["auto", "sort", "selection", "radix", "sortfree"])?;
+    require_positive_f64(row, "seconds")?;
+    require_positive_f64(row, "speedup_vs_sort")?;
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let obj = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    for key in ["n", "buckets", "detected_cores", "threads", "reps"] {
+        if require_u64(&obj, key)? == 0 {
+            return Err(format!("{key:?} must be >= 1"));
+        }
+    }
+    require_str_in(&obj, "auto_route", &["sort", "selection", "radix"])?;
+    match obj.get("clone_seconds").and_then(Json::as_f64) {
+        Some(v) if v >= 0.0 => {}
+        _ => return Err("missing/negative \"clone_seconds\"".into()),
+    }
+    let rows = match obj.get("rows") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("\"rows\" is empty".into()),
+        _ => return Err("missing \"rows\" array".into()),
+    };
+    for (i, row) in rows.iter().enumerate() {
+        check_row(row).map_err(|e| format!("rows[{i}]: {e}"))?;
+    }
+    let sort = obj.get("sort").ok_or("missing \"sort\" section")?;
+    require_positive_f64(sort, "serial_seconds")?;
+    require_positive_f64(sort, "parallel_seconds")?;
+    let prof = obj.get("frequency_profile").ok_or("missing \"frequency_profile\" section")?;
+    require_positive_f64(prof, "serial_seconds")?;
+    require_positive_f64(prof, "parallel_seconds")?;
+    require_positive_f64(prof, "unsorted_hashed_seconds")?;
+    println!("{path}: OK — {} rows", rows.len());
+    Ok(())
+}
+
+// -- argument parsing ---------------------------------------------------
+
+struct Args {
+    routes: Vec<ConstructionRoute>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { routes: Vec::new(), check: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--route" => {
+                let v = it.next().ok_or("--route needs a value")?;
+                let route = match v.as_str() {
+                    "auto" => ConstructionRoute::Auto,
+                    "sort" => ConstructionRoute::Sort,
+                    "selection" => ConstructionRoute::Selection,
+                    "radix" => ConstructionRoute::Radix,
+                    other => return Err(format!("unknown route {other:?}")),
+                };
+                args.routes.push(route);
+            }
+            "--check" => {
+                args.check = Some(it.next().unwrap_or_else(|| OUT_PATH.to_string()));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.routes.is_empty() {
+        args.routes.extend(ALL_ROUTES);
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pipeline_bench: {e}");
+            eprintln!(
+                "usage: pipeline_bench [--route auto|sort|selection|radix]... [--check [PATH]]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = args.check {
+        return match check_file(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("pipeline_bench --check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let n: usize =
         std::env::var("SAMPLEHIST_N").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_N);
     let threads = parallel::num_threads();
@@ -57,57 +299,71 @@ fn main() {
     // machines with the hardware context attached (a 1-core container
     // legitimately reports parallel == serial).
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let route = if samplehist_core::histogram::selection_profitable(n, BUCKETS) {
-        "selection"
-    } else {
-        "sort"
-    };
+    let auto_route = ConstructionRoute::Auto.resolve(n, BUCKETS).as_str();
     println!(
         "pipeline bench: n = {n}, k = {BUCKETS}, threads = {threads}/{cores} cores, \
-         route = {route}, reps = {REPS}"
+         auto route = {auto_route}, reps = {REPS}"
     );
 
-    let values = gen_values(n, 0x5A17);
+    let uniform = uniform_dup(n, 0x5A17);
+    let zipf = zipf_shuffled(n);
 
-    // -- Equi-height construction: sort path (before) vs from_unsorted
-    //    (after, selection-routed at this size).
-    let (sort_s, reference) = time_min(|| {
-        let mut v = values.clone();
-        v.sort_unstable();
-        EquiHeightHistogram::from_sorted(&v, BUCKETS)
-    });
-    let (selection_s, candidate) =
-        time_min(|| EquiHeightHistogram::from_unsorted(values.clone(), BUCKETS));
-    assert_eq!(candidate, reference, "selection path must be byte-identical to the sort path");
-    // The clone is shared overhead of both measurements; report it so the
+    let mut rows = bench_distribution("uniform_dup", &uniform, &args.routes);
+    rows.extend(bench_distribution("zipf_shuffled", &zipf, &args.routes));
+
+    // The clone is shared overhead of every equi-height measurement
+    // (each timed run copies the input first); report it so the
     // construction-only speedup can be separated out.
-    let (clone_s, _) = time_min(|| values.clone());
-    let speedup = sort_s / selection_s;
-    let speedup_ex_clone = (sort_s - clone_s) / (selection_s - clone_s).max(1e-9);
-    println!("construction: sort {sort_s:.3}s vs selection {selection_s:.3}s  ({speedup:.2}x, {speedup_ex_clone:.2}x excluding the shared clone)");
+    let (clone_s, _) = time_min(|| uniform.clone());
 
     // -- Sorting: serial vs parallel (equal by construction; identical on
     //    a single-core box).
     let (serial_sort_s, a) = time_min(|| {
-        let mut v = values.clone();
+        let mut v = uniform.clone();
         parallel::par_sort_unstable_threads(1, &mut v);
         v
     });
     let (par_sort_s, b) = time_min(|| {
-        let mut v = values.clone();
+        let mut v = uniform.clone();
         parallel::par_sort_unstable(&mut v);
         v
     });
     assert_eq!(a, b, "parallel sort must agree with serial sort");
     println!("sort: serial {serial_sort_s:.3}s vs {threads}-thread {par_sort_s:.3}s");
 
-    // -- Frequency profile over the sorted column: serial vs parallel.
+    // -- Frequency profile: serial vs parallel over the sorted column,
+    //    plus the hashed profile that skips the sort entirely.
     let sorted = b;
     let (serial_prof_s, p1) = time_min(|| FrequencyProfile::from_sorted_sample_threads(1, &sorted));
     let (par_prof_s, p2) = time_min(|| FrequencyProfile::from_sorted_sample(&sorted));
+    let (unsorted_prof_s, p3) = time_min(|| FrequencyProfile::from_unsorted_sample(&uniform));
     assert_eq!(p1, p2, "parallel profile must be bit-identical to serial");
-    println!("frequency profile: serial {serial_prof_s:.3}s vs {threads}-thread {par_prof_s:.3}s");
+    assert_eq!(p1, p3, "hashed unsorted profile must be bit-identical to sorted");
+    println!(
+        "frequency profile: serial {serial_prof_s:.3}s vs {threads}-thread {par_prof_s:.3}s \
+         vs unsorted hashed {unsorted_prof_s:.3}s"
+    );
 
+    let mut row_json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        row_json.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"distribution\": \"{dist}\",\n",
+                "      \"kind\": \"{kind}\",\n",
+                "      \"route\": \"{route}\",\n",
+                "      \"seconds\": {secs:.6},\n",
+                "      \"speedup_vs_sort\": {speedup:.3}\n",
+                "    }}{comma}\n",
+            ),
+            dist = r.distribution,
+            kind = r.kind,
+            route = r.route,
+            secs = r.seconds,
+            speedup = r.speedup_vs_sort,
+            comma = if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
     let json = format!(
         concat!(
             "{{\n",
@@ -115,22 +371,20 @@ fn main() {
             "  \"buckets\": {k},\n",
             "  \"detected_cores\": {cores},\n",
             "  \"threads\": {threads},\n",
-            "  \"construction_route\": \"{route}\",\n",
             "  \"reps\": {reps},\n",
-            "  \"construction\": {{\n",
-            "    \"before_sort_seconds\": {sort:.6},\n",
-            "    \"after_selection_seconds\": {sel:.6},\n",
-            "    \"shared_clone_seconds\": {clone:.6},\n",
-            "    \"speedup\": {speedup:.3},\n",
-            "    \"speedup_excluding_clone\": {speedup_ex:.3}\n",
-            "  }},\n",
+            "  \"auto_route\": \"{auto_route}\",\n",
+            "  \"clone_seconds\": {clone:.6},\n",
+            "  \"rows\": [\n",
+            "{rows}",
+            "  ],\n",
             "  \"sort\": {{\n",
             "    \"serial_seconds\": {ss:.6},\n",
             "    \"parallel_seconds\": {ps:.6}\n",
             "  }},\n",
             "  \"frequency_profile\": {{\n",
             "    \"serial_seconds\": {sp:.6},\n",
-            "    \"parallel_seconds\": {pp:.6}\n",
+            "    \"parallel_seconds\": {pp:.6},\n",
+            "    \"unsorted_hashed_seconds\": {up:.6}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -138,19 +392,24 @@ fn main() {
         k = BUCKETS,
         cores = cores,
         threads = threads,
-        route = route,
         reps = REPS,
-        sort = sort_s,
-        sel = selection_s,
+        auto_route = auto_route,
         clone = clone_s,
-        speedup = speedup,
-        speedup_ex = speedup_ex_clone,
+        rows = row_json,
         ss = serial_sort_s,
         ps = par_sort_s,
         sp = serial_prof_s,
         pp = par_prof_s,
+        up = unsorted_prof_s,
     );
-    let path = "BENCH_pipeline.json";
-    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
-    println!("wrote {path}");
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {OUT_PATH}");
+    // Self-validate so a schema drift fails right here, not in CI.
+    match check_file(OUT_PATH) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pipeline_bench: self-check failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -49,6 +49,23 @@ pub fn duplication_density(sorted: &[i64]) -> f64 {
     ((sum_sq - n as u128) as f64) / ((n as u128 * n as u128 - n as u128) as f64)
 }
 
+/// [`duplication_density`] computed from a [`FrequencyProfile`] instead
+/// of sorted data: `Σ_j j²·f_j` over the profile is the same integer as
+/// `Σ_v c_v²` over the runs, and the final float expression is
+/// identical, so the result is **bit-identical** to
+/// `duplication_density(sorted)` — this is how the sort-free `ANALYZE`
+/// route gets its density without ever materializing run lengths.
+///
+/// [`FrequencyProfile`]: crate::distinct::FrequencyProfile
+pub fn duplication_density_from_profile(profile: &crate::distinct::FrequencyProfile) -> f64 {
+    let n = profile.sample_size();
+    if n <= 1 {
+        return 0.0;
+    }
+    let sum_sq: u128 = profile.iter().map(|(j, f)| (j as u128) * (j as u128) * (f as u128)).sum();
+    ((sum_sq - n as u128) as f64) / ((n as u128 * n as u128 - n as u128) as f64)
+}
+
 /// The second frequency moment `Σ (c_v/n)²` — probability two
 /// independently drawn tuples share a value. Ranges over `[1/n, 1]`.
 /// Input must be sorted.
@@ -124,6 +141,33 @@ mod tests {
         let (dl, dm, dh) =
             (duplication_density(&low), duplication_density(&mid), duplication_density(&high));
         assert!(dl < dm && dm < dh, "{dl} {dm} {dh}");
+    }
+
+    #[test]
+    fn profile_density_is_bit_identical() {
+        use crate::distinct::FrequencyProfile;
+        let mut x = 0x5151_5151u64 | 1;
+        let values: Vec<i64> = (0..30_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 499) as i64
+            })
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let from_sorted = duplication_density(&sorted);
+        let profile = FrequencyProfile::from_unsorted_sample_threads(1, &values);
+        let from_profile = duplication_density_from_profile(&profile);
+        assert_eq!(from_sorted.to_bits(), from_profile.to_bits());
+        // Endpoint cases too.
+        let ones = FrequencyProfile::from_pairs(vec![(1, 100)]);
+        assert_eq!(duplication_density_from_profile(&ones), 0.0);
+        let all_same = FrequencyProfile::from_pairs(vec![(100, 1)]);
+        assert_eq!(duplication_density_from_profile(&all_same), 1.0);
+        let single = FrequencyProfile::from_pairs(vec![(1, 1)]);
+        assert_eq!(duplication_density_from_profile(&single), 0.0);
     }
 
     #[test]

@@ -5,5 +5,8 @@
 mod density;
 mod range;
 
-pub use density::{duplication_density, expected_equality_matches, squared_frequency_density};
+pub use density::{
+    duplication_density, duplication_density_from_profile, expected_equality_matches,
+    squared_frequency_density,
+};
 pub use range::{evaluate_range_query, true_range_count, RangeEstimator, RangeQueryError};

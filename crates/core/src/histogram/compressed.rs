@@ -9,8 +9,14 @@
 //! equi-height histogram over the residue with the remaining buckets.
 //! Range and equality estimation then answer from both parts.
 
+use samplehist_parallel as parallel;
+
 use super::equi_height::EquiHeightHistogram;
+use super::radix;
 use crate::estimate::RangeEstimator;
+
+/// Value arrays shorter than this verify heavy candidates serially.
+const PAR_COUNT_MIN: usize = 1 << 16;
 
 /// A compressed k-histogram: exact singleton buckets for values with
 /// multiplicity > `n/k`, an equi-height histogram over everything else.
@@ -137,6 +143,98 @@ impl CompressedHistogram {
         Self { high_freq: runs, residual, total: population_total }
     }
 
+    /// Build from **unsorted** data with a budget of `k` buckets total,
+    /// without ever sorting the column — byte-identical to
+    /// [`Self::from_sorted`] of the sorted data (property-tested).
+    ///
+    /// The heavy values are found by **rank probing** (see
+    /// [`find_heavy_values`]) and verified with one exact counting pass;
+    /// the residual multiset is filtered unsorted and handed to
+    /// [`EquiHeightHistogram::from_unsorted_threads`], which resolves its
+    /// separator ranks through the selection/radix resolver. Total cost:
+    /// ~5 linear passes, no `O(n log n)` anywhere.
+    ///
+    /// # Panics
+    /// If `values` is empty or `k == 0`.
+    pub fn from_unsorted(values: &[i64], k: usize) -> Self {
+        Self::from_unsorted_threads(parallel::num_threads(), values, k)
+    }
+
+    /// [`Self::from_unsorted`] with an explicit thread count (results are
+    /// bit-identical at any thread count).
+    pub fn from_unsorted_threads(threads: usize, values: &[i64], k: usize) -> Self {
+        assert!(k > 0, "a histogram needs at least one bucket");
+        assert!(!values.is_empty(), "cannot build a histogram of an empty value set");
+        samplehist_obs::global().counter("histogram.compressed.sortfree", 1);
+
+        let n = values.len() as u64;
+        let threshold = n as f64 / k as f64;
+        let runs = find_heavy_values(threads, values, threshold, k);
+        debug_assert!(runs.len() < k, "pigeonhole: at most k-1 values exceed n/k");
+
+        let residual_k = k - runs.len();
+        let mut residual_values = filter_residual(values, &runs);
+        let residual = (!residual_values.is_empty()).then(|| {
+            EquiHeightHistogram::from_unsorted_threads(threads, &mut residual_values, residual_k)
+        });
+
+        Self { high_freq: runs, residual, total: n }
+    }
+
+    /// Sort-free counterpart of [`Self::from_sorted_sample`]:
+    /// byte-identical output (heavy counts scaled by `n/r` with the same
+    /// float rounding, residual scaled with the same largest-remainder
+    /// rule), but the sample is never sorted.
+    ///
+    /// # Panics
+    /// If the sample is empty, `k == 0`, or the population is smaller
+    /// than the sample.
+    pub fn from_unsorted_sample(sample: &[i64], k: usize, population_total: u64) -> Self {
+        Self::from_unsorted_sample_threads(parallel::num_threads(), sample, k, population_total)
+    }
+
+    /// [`Self::from_unsorted_sample`] with an explicit thread count.
+    pub fn from_unsorted_sample_threads(
+        threads: usize,
+        sample: &[i64],
+        k: usize,
+        population_total: u64,
+    ) -> Self {
+        assert!(k > 0, "a histogram needs at least one bucket");
+        assert!(!sample.is_empty(), "cannot build a histogram from an empty sample");
+        assert!(
+            population_total >= sample.len() as u64,
+            "population ({population_total}) smaller than sample ({})",
+            sample.len()
+        );
+        samplehist_obs::global().counter("histogram.compressed.sortfree", 1);
+
+        let r = sample.len() as u64;
+        let scale = population_total as f64 / r as f64;
+        let threshold = r as f64 / k as f64;
+        let sample_runs = find_heavy_values(threads, sample, threshold, k);
+        debug_assert!(sample_runs.len() < k, "pigeonhole: at most k-1 values exceed r/k");
+
+        let runs: Vec<(i64, u64)> =
+            sample_runs.iter().map(|&(v, c)| (v, (c as f64 * scale).round() as u64)).collect();
+        let residual_k = k - runs.len();
+        let mut residual_sample = filter_residual(sample, &runs);
+        let heavy_total: u64 = runs.iter().map(|&(_, c)| c).sum();
+        let residual_total = population_total.saturating_sub(heavy_total).max(
+            residual_sample.len() as u64, // never claim fewer than observed
+        );
+        let residual = (!residual_sample.is_empty()).then(|| {
+            EquiHeightHistogram::from_unsorted_sample_threads(
+                threads,
+                &mut residual_sample,
+                residual_k,
+                residual_total,
+            )
+        });
+
+        Self { high_freq: runs, residual, total: population_total }
+    }
+
     /// The high-frequency side table.
     pub fn high_frequency_values(&self) -> &[(i64, u64)] {
         &self.high_freq
@@ -188,6 +286,68 @@ impl CompressedHistogram {
         };
         heavy as f64 + light
     }
+}
+
+/// Exact `(value, count)` pairs with count strictly above `threshold`,
+/// ascending, found **without sorting**.
+///
+/// Rank probing: let `t = max(⌊n/k⌋, 1)`. A heavy value (count
+/// `> n/k`, hence `≥ t + 1`) occupies at least `t + 1` consecutive
+/// positions of the sorted multiset, so that run necessarily covers a
+/// rank that is a multiple of `t`. Resolving the ranks `{0, t, 2t, …}`
+/// (at most `⌊n/t⌋ + 1 ≈ k + 1` of them) through the radix rank
+/// resolver therefore surfaces every heavy value among the probe
+/// results; one exact counting pass over the candidates (binary search
+/// into the ≤ k+1 sorted probe values) filters the false positives and
+/// supplies exact counts. Cost: the resolver's ~3 linear passes plus
+/// one verification pass.
+fn find_heavy_values(threads: usize, values: &[i64], threshold: f64, k: usize) -> Vec<(i64, u64)> {
+    let t = (values.len() / k).max(1);
+    let probes: Vec<usize> = (0..values.len()).step_by(t).collect();
+    let resolution = radix::resolve_ranks_threads(threads, values, &probes);
+    let mut candidates: Vec<i64> = resolution.entries.into_iter().map(|(v, _)| v).collect();
+    candidates.dedup(); // probe values arrive ascending
+    samplehist_obs::global().counter("histogram.compressed.candidates", candidates.len() as u64);
+    let counts = count_candidates(threads, values, &candidates);
+    candidates.into_iter().zip(counts).filter(|&(_, c)| c as f64 > threshold).collect()
+}
+
+/// One exact counting pass of `values` against the ascending
+/// `candidates` (chunk-parallel with a sequential reduce).
+fn count_candidates(threads: usize, values: &[i64], candidates: &[i64]) -> Vec<u64> {
+    let tally = |chunk: &[i64]| {
+        let mut counts = vec![0u64; candidates.len()];
+        for &v in chunk {
+            if let Ok(i) = candidates.binary_search(&v) {
+                counts[i] += 1;
+            }
+        }
+        counts
+    };
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        return tally(values);
+    }
+    let partials = parallel::par_chunks_map(threads, values, threads, tally);
+    let mut out = vec![0u64; candidates.len()];
+    for partial in partials {
+        for (acc, c) in out.iter_mut().zip(partial) {
+            *acc += c;
+        }
+    }
+    out
+}
+
+/// The values that are not in the (ascending) heavy side table, in
+/// input order.
+fn filter_residual(values: &[i64], runs: &[(i64, u64)]) -> Vec<i64> {
+    if runs.is_empty() {
+        return values.to_vec();
+    }
+    values
+        .iter()
+        .copied()
+        .filter(|v| runs.binary_search_by_key(v, |&(hv, _)| hv).is_err())
+        .collect()
 }
 
 #[cfg(test)]
@@ -320,9 +480,79 @@ mod tests {
         assert_eq!(h.buckets_used(), 8);
     }
 
+    /// Deterministic shuffle: spread the sorted data across the output
+    /// with a stride co-prime to the length.
+    fn strided(sorted: &[i64]) -> Vec<i64> {
+        let n = sorted.len();
+        let stride = (n / 2 + 1) | 1; // odd ⇒ co-prime with powers of two; good enough here
+        let mut out = Vec::with_capacity(n);
+        let mut i = 0usize;
+        for _ in 0..n {
+            out.push(sorted[i]);
+            i = (i + stride) % n;
+        }
+        assert_eq!(out.len(), n);
+        out
+    }
+
+    #[test]
+    fn sortfree_matches_sorted_path() {
+        let data = skewed_data();
+        let shuffled = strided(&data);
+        for k in [1usize, 2, 3, 10, 40] {
+            let reference = CompressedHistogram::from_sorted(&data, k);
+            for threads in [1usize, 4] {
+                let got = CompressedHistogram::from_unsorted_threads(threads, &shuffled, k);
+                assert_eq!(got, reference, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sortfree_sample_matches_sorted_sample_path() {
+        let data = skewed_data();
+        let shuffled = strided(&data);
+        for (k, pop) in [(10usize, 5_000u64), (4, 1_000), (1, 999_999)] {
+            let reference = CompressedHistogram::from_sorted_sample(&data, k, pop);
+            for threads in [1usize, 4] {
+                let got =
+                    CompressedHistogram::from_unsorted_sample_threads(threads, &shuffled, k, pop);
+                assert_eq!(got, reference, "k={k} pop={pop} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sortfree_all_one_value_and_no_heavy_edges() {
+        // Every tuple heavy: empty residual.
+        let data = vec![5i64; 100];
+        let h = CompressedHistogram::from_unsorted(&data, 4);
+        assert_eq!(h, CompressedHistogram::from_sorted(&data, 4));
+        assert!(h.residual().is_none());
+
+        // No value heavy: pure equi-height residual.
+        let sorted: Vec<i64> = (0..1000).collect();
+        let h = CompressedHistogram::from_unsorted(&strided(&sorted), 10);
+        assert_eq!(h, CompressedHistogram::from_sorted(&sorted, 10));
+        assert!(h.high_frequency_values().is_empty());
+
+        // More buckets than values: t clamps to 1, all ranks probed.
+        let tiny = vec![3i64, 1, 2];
+        let mut tiny_sorted = tiny.clone();
+        tiny_sorted.sort_unstable();
+        let h = CompressedHistogram::from_unsorted(&tiny, 8);
+        assert_eq!(h, CompressedHistogram::from_sorted(&tiny_sorted, 8));
+    }
+
     #[test]
     #[should_panic(expected = "empty value set")]
     fn empty_rejected() {
         let _ = CompressedHistogram::from_sorted(&[], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value set")]
+    fn sortfree_empty_rejected() {
+        let _ = CompressedHistogram::from_unsorted(&[], 4);
     }
 }

@@ -29,6 +29,55 @@ pub struct EquiHeightHistogram {
     max_value: i64,
 }
 
+/// Construction engine for the `from_unsorted*` constructors.
+///
+/// Every route produces **byte-identical** histograms (property-tested
+/// in `crates/core/tests/properties.rs`); they differ only in cost.
+/// `Auto` applies the decision rule documented in DESIGN.md §6; the
+/// explicit routes exist for benchmarking ([`ConstructionRoute`] rows in
+/// `pipeline_bench`) and for pinning a path in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstructionRoute {
+    /// Pick by input shape: radix when
+    /// [`selection::selection_profitable`], otherwise sort.
+    Auto,
+    /// (Parallel-)sort in place, then [`EquiHeightHistogram::from_sorted`].
+    Sort,
+    /// Comparison-based multi-select — the property-tested O(n log k)
+    /// reference, partitions the input in place.
+    Selection,
+    /// Radix-count rank resolution ([`radix`]) — ~3 linear passes,
+    /// skew-adaptive, never rearranges the input.
+    Radix,
+}
+
+impl ConstructionRoute {
+    /// The concrete route `Auto` resolves to for an input shape; the
+    /// explicit routes return themselves.
+    pub fn resolve(self, n: usize, k: usize) -> Self {
+        match self {
+            ConstructionRoute::Auto => {
+                if selection::selection_profitable(n, k) {
+                    ConstructionRoute::Radix
+                } else {
+                    ConstructionRoute::Sort
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Stable lowercase name (bench JSON rows, trace fields).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConstructionRoute::Auto => "auto",
+            ConstructionRoute::Sort => "sort",
+            ConstructionRoute::Selection => "selection",
+            ConstructionRoute::Radix => "radix",
+        }
+    }
+}
+
 /// A read-only view of one bucket, yielded by
 /// [`EquiHeightHistogram::buckets`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,26 +180,130 @@ impl EquiHeightHistogram {
     /// # Panics
     /// If `values` is empty or `k == 0`.
     pub fn from_unsorted(mut values: Vec<i64>, k: usize) -> Self {
+        Self::from_unsorted_in_place(&mut values, k)
+    }
+
+    /// [`Self::from_unsorted`] without taking ownership: the caller's
+    /// buffer may be rearranged (sorted or partitioned) depending on the
+    /// route but is never reallocated.
+    pub fn from_unsorted_in_place(values: &mut [i64], k: usize) -> Self {
+        Self::from_unsorted_with_route_threads(
+            parallel::num_threads(),
+            values,
+            k,
+            ConstructionRoute::Auto,
+        )
+    }
+
+    /// [`Self::from_unsorted_in_place`] with an explicit thread count
+    /// (results are bit-identical at any thread count).
+    pub fn from_unsorted_threads(threads: usize, values: &mut [i64], k: usize) -> Self {
+        Self::from_unsorted_with_route_threads(threads, values, k, ConstructionRoute::Auto)
+    }
+
+    /// [`Self::from_unsorted_in_place`] with an explicit
+    /// [`ConstructionRoute`] instead of the `Auto` shape rule.
+    pub fn from_unsorted_with_route(
+        values: &mut [i64],
+        k: usize,
+        route: ConstructionRoute,
+    ) -> Self {
+        Self::from_unsorted_with_route_threads(parallel::num_threads(), values, k, route)
+    }
+
+    /// The fully explicit construction entry point: route and thread
+    /// count chosen by the caller. All routes produce byte-identical
+    /// histograms; the `histogram.route.*` counter records the concrete
+    /// route taken.
+    ///
+    /// # Panics
+    /// If `values` is empty or `k == 0`.
+    pub fn from_unsorted_with_route_threads(
+        threads: usize,
+        values: &mut [i64],
+        k: usize,
+        route: ConstructionRoute,
+    ) -> Self {
         assert!(k > 0, "a histogram needs at least one bucket");
         assert!(!values.is_empty(), "cannot build a histogram of an empty value set");
-
-        if selection::selection_profitable(values.len(), k) {
-            samplehist_obs::global().counter("histogram.route.radix", 1);
-            let total = values.len() as u64;
-            let (separators, counts, min_value, max_value) = resolve_via_radix(&values, k);
-            Self { separators, counts, total, min_value, max_value }
-        } else {
-            samplehist_obs::global().counter("histogram.route.sort", 1);
-            parallel::par_sort_unstable(&mut values);
-            Self::from_sorted(&values, k)
+        let total = values.len() as u64;
+        match route.resolve(values.len(), k) {
+            ConstructionRoute::Sort => {
+                samplehist_obs::global().counter("histogram.route.sort", 1);
+                parallel::par_sort_unstable_threads(threads, values);
+                Self::from_sorted(values, k)
+            }
+            ConstructionRoute::Selection => {
+                samplehist_obs::global().counter("histogram.route.selection", 1);
+                let (ranks, separators) = selection::select_partition(values, k);
+                let counts = selection::bucket_counts_partitioned(values, &ranks, &separators);
+                let (min_value, max_value) = selection::min_max_partitioned(values, &ranks);
+                Self { separators, counts, total, min_value, max_value }
+            }
+            ConstructionRoute::Radix => {
+                samplehist_obs::global().counter("histogram.route.radix", 1);
+                let (separators, counts, min_value, max_value) =
+                    resolve_via_radix(threads, values, k);
+                Self { separators, counts, total, min_value, max_value }
+            }
+            ConstructionRoute::Auto => unreachable!("resolve() returns a concrete route"),
         }
     }
 
     /// Convenience wrapper over [`Self::from_sorted_sample`] accepting an
-    /// unsorted sample. Routes through multi-rank selection instead of a
+    /// unsorted sample. Routes through radix rank resolution instead of a
     /// sort when the sample shape makes that profitable (same rule and
     /// same byte-identical guarantee as [`Self::from_unsorted`]).
     pub fn from_unsorted_sample(mut sample: Vec<i64>, k: usize, population_total: u64) -> Self {
+        Self::from_unsorted_sample_in_place(&mut sample, k, population_total)
+    }
+
+    /// [`Self::from_unsorted_sample`] without taking ownership.
+    pub fn from_unsorted_sample_in_place(
+        sample: &mut [i64],
+        k: usize,
+        population_total: u64,
+    ) -> Self {
+        Self::from_unsorted_sample_with_route_threads(
+            parallel::num_threads(),
+            sample,
+            k,
+            population_total,
+            ConstructionRoute::Auto,
+        )
+    }
+
+    /// [`Self::from_unsorted_sample_in_place`] with an explicit thread
+    /// count.
+    pub fn from_unsorted_sample_threads(
+        threads: usize,
+        sample: &mut [i64],
+        k: usize,
+        population_total: u64,
+    ) -> Self {
+        Self::from_unsorted_sample_with_route_threads(
+            threads,
+            sample,
+            k,
+            population_total,
+            ConstructionRoute::Auto,
+        )
+    }
+
+    /// Fully explicit sampled construction: route and thread count
+    /// chosen by the caller; counts are scaled with the same
+    /// largest-remainder rule as [`Self::from_sorted_sample`].
+    ///
+    /// # Panics
+    /// If the sample is empty, `k == 0`, or
+    /// `population_total < sample.len()`.
+    pub fn from_unsorted_sample_with_route_threads(
+        threads: usize,
+        sample: &mut [i64],
+        k: usize,
+        population_total: u64,
+        route: ConstructionRoute,
+    ) -> Self {
         assert!(k > 0, "a histogram needs at least one bucket");
         assert!(!sample.is_empty(), "cannot build a histogram from an empty sample");
         assert!(
@@ -158,20 +311,30 @@ impl EquiHeightHistogram {
             "population ({population_total}) smaller than sample ({})",
             sample.len()
         );
-
-        if selection::selection_profitable(sample.len(), k) {
-            samplehist_obs::global().counter("histogram.route.radix", 1);
-            let (separators, sample_counts, min_value, max_value) = resolve_via_radix(&sample, k);
-            let counts = scale_counts_largest_remainder(
-                &sample_counts,
-                sample.len() as u64,
-                population_total,
-            );
-            Self { separators, counts, total: population_total, min_value, max_value }
-        } else {
-            samplehist_obs::global().counter("histogram.route.sort", 1);
-            parallel::par_sort_unstable(&mut sample);
-            Self::from_sorted_sample(&sample, k, population_total)
+        let r = sample.len() as u64;
+        match route.resolve(sample.len(), k) {
+            ConstructionRoute::Sort => {
+                samplehist_obs::global().counter("histogram.route.sort", 1);
+                parallel::par_sort_unstable_threads(threads, sample);
+                Self::from_sorted_sample(sample, k, population_total)
+            }
+            ConstructionRoute::Selection => {
+                samplehist_obs::global().counter("histogram.route.selection", 1);
+                let (ranks, separators) = selection::select_partition(sample, k);
+                let sample_counts =
+                    selection::bucket_counts_partitioned(sample, &ranks, &separators);
+                let counts = scale_counts_largest_remainder(&sample_counts, r, population_total);
+                let (min_value, max_value) = selection::min_max_partitioned(sample, &ranks);
+                Self { separators, counts, total: population_total, min_value, max_value }
+            }
+            ConstructionRoute::Radix => {
+                samplehist_obs::global().counter("histogram.route.radix", 1);
+                let (separators, sample_counts, min_value, max_value) =
+                    resolve_via_radix(threads, sample, k);
+                let counts = scale_counts_largest_remainder(&sample_counts, r, population_total);
+                Self { separators, counts, total: population_total, min_value, max_value }
+            }
+            ConstructionRoute::Auto => unreachable!("resolve() returns a concrete route"),
         }
     }
 
@@ -279,9 +442,9 @@ impl EquiHeightHistogram {
 /// into `(separators, bucket counts, min, max)` — the same
 /// consecutive-difference formula [`bucket_counts`] applies to sorted
 /// data, so the result is byte-identical to the sort path.
-fn resolve_via_radix(values: &[i64], k: usize) -> (Vec<i64>, Vec<u64>, i64, i64) {
+fn resolve_via_radix(threads: usize, values: &[i64], k: usize) -> (Vec<i64>, Vec<u64>, i64, i64) {
     let ranks = selection::separator_ranks(values.len(), k);
-    let resolution = radix::resolve_ranks(values, &ranks);
+    let resolution = radix::resolve_ranks_threads(threads, values, &ranks);
     let mut separators = Vec::with_capacity(k - 1);
     let mut counts = Vec::with_capacity(k);
     let mut prev = 0u64;
@@ -528,6 +691,56 @@ mod tests {
         // must still fire with the same message as the sorted path.
         let sample: Vec<i64> = (0..20_000).collect();
         let _ = EquiHeightHistogram::from_unsorted_sample(sample, 10, 100);
+    }
+
+    #[test]
+    fn explicit_routes_agree_byte_for_byte() {
+        use ConstructionRoute::{Auto, Radix, Selection, Sort};
+        for (n, k) in [(10_000usize, 64usize), (20_000, 599)] {
+            let data = noisy(n, 97);
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let reference = EquiHeightHistogram::from_sorted(&sorted, k);
+            for route in [Auto, Sort, Selection, Radix] {
+                for threads in [1usize, 4] {
+                    let mut work = data.clone();
+                    let h = EquiHeightHistogram::from_unsorted_with_route_threads(
+                        threads, &mut work, k, route,
+                    );
+                    assert_eq!(h, reference, "route={route:?} threads={threads} n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_routes_agree_on_samples() {
+        use ConstructionRoute::{Auto, Radix, Selection, Sort};
+        let data = noisy(15_000, 41);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let pop = 123_457u64;
+        let reference = EquiHeightHistogram::from_sorted_sample(&sorted, 100, pop);
+        for route in [Auto, Sort, Selection, Radix] {
+            for threads in [1usize, 4] {
+                let mut work = data.clone();
+                let h = EquiHeightHistogram::from_unsorted_sample_with_route_threads(
+                    threads, &mut work, 100, pop, route,
+                );
+                assert_eq!(h, reference, "route={route:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_route_resolves_by_shape() {
+        use ConstructionRoute::{Auto, Radix, Selection, Sort};
+        assert_eq!(Auto.resolve(100, 10), Sort, "small input sorts");
+        assert_eq!(Auto.resolve(1 << 20, 600), Radix, "large input takes radix");
+        assert_eq!(Sort.resolve(1 << 20, 600), Sort, "explicit route sticks");
+        assert_eq!(Selection.resolve(10, 3), Selection);
+        assert_eq!(Radix.as_str(), "radix");
+        assert_eq!(Auto.as_str(), "auto");
     }
 
     #[test]

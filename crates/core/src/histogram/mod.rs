@@ -34,7 +34,7 @@ pub mod selection;
 
 pub use builder::HistogramBuilder;
 pub use compressed::CompressedHistogram;
-pub use equi_height::{BucketRef, EquiHeightHistogram};
+pub use equi_height::{BucketRef, ConstructionRoute, EquiHeightHistogram};
 pub use equi_width::EquiWidthHistogram;
 pub use maintained::MaintainedHistogram;
 pub use selection::{bucket_counts_unsorted, select_separators, selection_profitable};

@@ -16,14 +16,43 @@
 //! is ~3 linear passes plus work proportional to the gathered residue.
 //!
 //! When a (sub)range is narrow enough for one counter per value
-//! (`shift == 0`, granted up to `2^EXACT_BITS` counters), the counting
+//! (`shift == 0`, granted up to `2^DIRECT_EXACT_BITS` counters — u32
+//! counters when `n` fits, halving the footprint), the counting
 //! histogram *is* the exact value histogram and every rank resolves by
-//! prefix sums alone — duplicate-heavy columns, the paper's main
-//! concern, finish in exactly two passes with no gather at all.
+//! walking the running sum alone — duplicate-heavy columns, the paper's
+//! main concern, finish in exactly two passes with no gather at all.
+//!
+//! ## Skew-aware slice refinement
+//!
+//! On skewed (Zipf-like) columns the quantile ranks land in the *heavy*
+//! slices by construction, so the gathered residue can approach the
+//! whole column and the route degrades toward the sort path. When the
+//! rank-bearing slices that are big enough to recurse jointly hold a
+//! large share of the level ([`REFINE_RESIDUE_DIV`]), a second,
+//! *combined* counting pass refines all of them at once at a shift
+//! [`RADIX_BITS`] narrower — and because the per-slice span is already
+//! ≤ `2^shift`, that refinement usually reaches the exact
+//! (one-counter-per-value) regime, resolving the heavy ranks from
+//! prefix sums with **no gather at all**. Only rank-bearing sub-slices
+//! of the refined blocks (plus the untouched light slices) are gathered.
+//! The refinement fan-out and the residue that survives it are surfaced
+//! as `radix.slices_split` / `radix.residue_tuples` counters.
+//!
+//! ## Scratch reuse
+//!
+//! Each recursion level needs a counter array, prefix sums, slice→slot
+//! maps, and gather buffers. A [`Scratch`] owns one [`LevelScratch`] per
+//! possible level and is threaded through the recursion
+//! (`split_first_mut` hands the current level its buffers and passes the
+//! deeper ones down), so a resolver call — and every call that reuses
+//! the same `Scratch` — performs no steady-state allocation: buffers are
+//! `clear()`ed (a memset for the counters) rather than reallocated, and
+//! gather buffers return to a pool keeping their capacity.
 //!
 //! The counting pass is chunk-parallel with a sequential reduce and the
-//! per-slice resolutions fan out over [`samplehist_parallel::par_map`],
-//! so results are bit-identical at any thread count.
+//! per-slice resolutions fan out over
+//! [`samplehist_parallel::par_map_mut_threads`], so results are
+//! bit-identical at any thread count.
 
 use samplehist_parallel as parallel;
 
@@ -38,14 +67,84 @@ const RADIX_BITS: u32 = 16;
 /// every rank resolves from prefix sums with no gather pass. Worth 4×
 /// the counter memory of the sliced path: on skewed data the quantile
 /// ranks sit in heavy-mass slices, so the gather would touch most of
-/// the column.
+/// the column. This bar also decides when a *refined* block reaches the
+/// exact regime (`sub_shift == 0`).
 const EXACT_BITS: u32 = RADIX_BITS + 2;
 
-/// Gathered slices at least this large recurse instead of sorting.
+/// A level whose whole span fits 2^DIRECT_EXACT_BITS counters skips
+/// slicing entirely and counts one counter per value in a single pass —
+/// no second refinement pass, no gather. Same memory ceiling as the
+/// refinement budget ([`MAX_REFINE_COUNTERS`]), and the counters are
+/// u32 whenever `n` fits, halving the footprint (2^21 × 4 B = 8 MB).
+/// Realistic columns (e.g. n=10⁷ over a 10⁶ domain) resolve here in
+/// two linear passes total.
+const DIRECT_EXACT_BITS: u32 = 21;
+
+/// Gathered slices at least this large recurse instead of sorting; the
+/// same bar marks a rank-bearing slice as a refinement candidate.
 const RECURSE_MIN: usize = 1 << 13;
 
 /// Value arrays shorter than this are counted serially.
 const PAR_COUNT_MIN: usize = 1 << 16;
+
+/// Refinement fires when the candidate slices jointly hold at least
+/// 1/REFINE_RESIDUE_DIV of the level's input — below that, the extra
+/// counting pass costs more than the gather it avoids.
+const REFINE_RESIDUE_DIV: usize = 8;
+
+/// Cap on second-level refinement counters per level (2^21 × 8 B =
+/// 16 MB). When the candidates would exceed it, the heaviest slices
+/// keep their blocks and the rest fall back to gather/recurse.
+const MAX_REFINE_COUNTERS: usize = 1 << 21;
+
+/// Upper bound on recursion depth: the span shrinks by ≥ `RADIX_BITS`
+/// bits per level (64 → ≤48 → ≤32 → ≤16, which is exact), so four
+/// levels always suffice; one spare absorbs future knob changes.
+const MAX_LEVELS: usize = 5;
+
+/// `slot_of` tag bit: the slice was refined (low bits = block index)
+/// rather than assigned a gather job.
+const REFINED_TAG: u32 = 1 << 31;
+
+/// Reusable per-level buffers for [`resolve_ranks_with`]: counter and
+/// prefix arrays, the slice→slot maps, and a pool of gather buffers.
+/// One `Scratch` serves arbitrarily many resolver calls; within a call
+/// it is threaded through the recursion so no level allocates in steady
+/// state.
+pub(super) struct Scratch {
+    levels: Vec<LevelScratch>,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers grow on first use and persist.
+    pub(super) fn new() -> Self {
+        Scratch { levels: Vec::new() }
+    }
+}
+
+#[derive(Default)]
+struct LevelScratch {
+    /// First-pass slice counts, then reused as-is for prefix walking.
+    counts: Vec<u64>,
+    /// Narrow counters for the direct-exact path (`shift == 0`,
+    /// `n < u32::MAX`): half the cache footprint of `counts`.
+    counts32: Vec<u32>,
+    /// Exclusive prefix sums over `counts` (`slices + 1` entries).
+    prefix: Vec<u64>,
+    /// Per slice: `u32::MAX` untouched, `REFINED_TAG | block` refined,
+    /// otherwise a gather-job index.
+    slot_of: Vec<u32>,
+    /// Refinement counters, `blocks × sub_width`, block-major.
+    sub_counts: Vec<u64>,
+    /// Per refined sub-slice: gather-job index or `u32::MAX`.
+    sub_slot: Vec<u32>,
+    /// Pool of gather buffers (capacity preserved across calls).
+    buffers: Vec<Vec<i64>>,
+}
+
+fn fresh_levels() -> Vec<LevelScratch> {
+    (0..MAX_LEVELS).map(|_| LevelScratch::default()).collect()
+}
 
 /// Resolution of a batch of rank queries against one multiset.
 #[derive(Debug)]
@@ -60,12 +159,35 @@ pub(super) struct RankResolution {
 }
 
 /// Resolve the values (and their global `count_le`) at the given
-/// ascending 0-based `ranks` of unsorted `values`.
+/// ascending 0-based `ranks` of unsorted `values`, with the default
+/// thread budget and a throwaway scratch.
 ///
 /// # Panics
 /// If `values` is empty (ranks may be empty; they must be ascending and
 /// in range, which debug asserts check).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(super) fn resolve_ranks(values: &[i64], ranks: &[usize]) -> RankResolution {
+    resolve_ranks_threads(parallel::num_threads(), values, ranks)
+}
+
+/// [`resolve_ranks`] with an explicit thread count.
+pub(super) fn resolve_ranks_threads(
+    threads: usize,
+    values: &[i64],
+    ranks: &[usize],
+) -> RankResolution {
+    let mut scratch = Scratch::new();
+    resolve_ranks_with(threads, values, ranks, &mut scratch)
+}
+
+/// [`resolve_ranks`] with an explicit thread count and a caller-held
+/// [`Scratch`] — repeated calls reuse every internal buffer.
+pub(super) fn resolve_ranks_with(
+    threads: usize,
+    values: &[i64],
+    ranks: &[usize],
+    scratch: &mut Scratch,
+) -> RankResolution {
     assert!(!values.is_empty(), "cannot resolve ranks of an empty value set");
     debug_assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "ranks must be ascending");
     debug_assert!(ranks.iter().all(|&r| r < values.len()), "ranks must be in range");
@@ -73,119 +195,316 @@ pub(super) fn resolve_ranks(values: &[i64], ranks: &[usize]) -> RankResolution {
     span.field("n", values.len());
     span.field("ranks", ranks.len());
     let (min, max) = selection::min_max(values);
-    let entries = resolve_in_range(values, ranks, min, max);
+    if scratch.levels.len() < MAX_LEVELS {
+        scratch.levels.resize_with(MAX_LEVELS, LevelScratch::default);
+    }
+    let entries = resolve_in_range(values, ranks, min, max, threads, &mut scratch.levels);
     span.field("span_bits", u64::BITS - max.abs_diff(min).leading_zeros());
     span.finish();
     RankResolution { entries, min, max }
 }
 
-/// Recursive core: `values` are all within `[min, max]`.
-fn resolve_in_range(values: &[i64], ranks: &[usize], min: i64, max: i64) -> Vec<(i64, u64)> {
+/// A rank-bearing value range whose elements must be gathered: either a
+/// whole light slice or one rank-bearing sub-slice of a refined block.
+struct GatherJob {
+    /// First slot of the output array this job fills (its ranks are
+    /// consecutive in request order).
+    out_start: usize,
+    /// Global count of elements strictly below this job's value range;
+    /// rebases the job-local `count_le`.
+    base: u64,
+    /// Ranks local to the job's value range, ascending.
+    locals: Vec<usize>,
+    /// Gathered elements (filled by the gather pass; the buffer comes
+    /// from and returns to the level's pool).
+    elems: Vec<i64>,
+}
+
+/// Recursive core: `values` are all within `[min, max]`; `levels` hands
+/// this level its scratch buffers and the deeper ones to recursion.
+fn resolve_in_range(
+    values: &[i64],
+    ranks: &[usize],
+    min: i64,
+    max: i64,
+    threads: usize,
+    levels: &mut [LevelScratch],
+) -> Vec<(i64, u64)> {
     if ranks.is_empty() {
         return Vec::new();
     }
     if min == max {
         return vec![(min, values.len() as u64); ranks.len()];
     }
+    let Some((level, deeper)) = levels.split_first_mut() else {
+        // Unreachable with MAX_LEVELS sized to the span shrinkage, but
+        // a fresh set keeps the resolver correct if knobs ever change.
+        return resolve_in_range(values, ranks, min, max, threads, &mut fresh_levels());
+    };
     let recorder = samplehist_obs::global();
     recorder.counter("radix.levels", 1);
     let span = max.abs_diff(min);
     let bits = u64::BITS - span.leading_zeros();
-    let shift = if bits <= EXACT_BITS { 0 } else { bits - RADIX_BITS };
+    let shift = if bits <= DIRECT_EXACT_BITS { 0 } else { bits - RADIX_BITS };
     let slices = ((span >> shift) + 1) as usize;
 
+    if shift == 0 {
+        // One counter per distinct value: a single counting pass and the
+        // ranks resolve by walking the running sum — no prefix array, no
+        // gather. u32 counters whenever n fits (the common case): half
+        // the cache footprint of the u64 path, which matters at up to
+        // 2^DIRECT_EXACT_BITS counters.
+        recorder.counter("radix.exact_levels", 1);
+        return if values.len() < u32::MAX as usize {
+            count_exact32_into(values, min, slices, threads, &mut level.counts32);
+            resolve_exact(ranks, min, &level.counts32)
+        } else {
+            count_slices_into(values, min, 0, slices, threads, &mut level.counts);
+            resolve_exact(ranks, min, &level.counts)
+        };
+    }
+
     // Counting pass (chunk-parallel, reduced in chunk order).
-    let counts = count_slices(values, min, shift, slices);
+    count_slices_into(values, min, shift, slices, threads, &mut level.counts);
     // Exclusive prefix sums: slice s spans sorted positions
     // prefix[s] .. prefix[s] + counts[s].
-    let mut prefix = Vec::with_capacity(slices + 1);
+    level.prefix.clear();
+    level.prefix.reserve(slices + 1);
     let mut acc = 0u64;
-    for &c in &counts {
-        prefix.push(acc);
+    for &c in &level.counts {
+        level.prefix.push(acc);
         acc += c;
     }
-    prefix.push(acc);
-
-    if shift == 0 {
-        // One slice per distinct value: ranks resolve by prefix alone.
-        recorder.counter("radix.exact_levels", 1);
-        let mut out = Vec::with_capacity(ranks.len());
-        let mut s = 0usize;
-        for &r in ranks {
-            while prefix[s + 1] <= r as u64 {
-                s += 1;
-            }
-            let value = min + i64::try_from(s as u64).expect("span below shift-0 fits i64");
-            out.push((value, prefix[s + 1]));
-        }
-        return out;
-    }
+    level.prefix.push(acc);
 
     // Group the (ascending) ranks by the slice they fall in.
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
     let mut s = 0usize;
     for &r in ranks {
-        while prefix[s + 1] <= r as u64 {
+        while level.prefix[s + 1] <= r as u64 {
             s += 1;
         }
-        let local = r - prefix[s] as usize;
+        let local = r - level.prefix[s] as usize;
         match groups.last_mut() {
             Some((slice, locals)) if *slice == s => locals.push(local),
             _ => groups.push((s, vec![local])),
         }
     }
 
-    // Gather only the interesting slices, exact capacity from the counts.
-    let mut slot_of = vec![u32::MAX; slices];
-    for (i, &(slice, _)) in groups.iter().enumerate() {
-        slot_of[slice] = i as u32;
+    // Skew refinement decision: rank-bearing slices big enough to
+    // recurse would each cost a gather plus another full pass over
+    // their elements. When they jointly hold a large share of the
+    // level, one combined second-level counting pass resolves them all
+    // at a narrower shift first — which on duplicate-heavy columns is
+    // usually the exact regime (sub_shift == 0), eliminating their
+    // gather entirely.
+    let sub_shift = if shift <= EXACT_BITS { 0 } else { shift - RADIX_BITS };
+    let sub_width = 1usize << (shift - sub_shift);
+    let heavy_mass: u64 = groups
+        .iter()
+        .map(|&(slice, _)| level.counts[slice])
+        .filter(|&c| c as usize >= RECURSE_MIN)
+        .sum();
+    let refine = heavy_mass > 0 && heavy_mass as usize * REFINE_RESIDUE_DIV >= values.len();
+
+    // Refined group indices, ascending; block b refines groups[refined[b]].
+    // Once the heavy slices justify paying the second counting pass, it
+    // covers *every* rank-bearing slice the counter budget allows (there
+    // are at most k−1 of them) — at sub_shift == 0 that resolves the
+    // light slices inline too, making the whole level gather-free.
+    let mut refined: Vec<usize> = Vec::new();
+    if refine {
+        refined = (0..groups.len()).collect();
+        let max_blocks = (MAX_REFINE_COUNTERS / sub_width).max(1);
+        if refined.len() > max_blocks {
+            // Counter budget: keep the heaviest slices (stable sort →
+            // deterministic ties), leave the rest to gather/recurse.
+            refined.sort_by_key(|&g| std::cmp::Reverse(level.counts[groups[g].0]));
+            refined.truncate(max_blocks);
+            refined.sort_unstable();
+        }
     }
-    let mut gathered: Vec<Vec<i64>> =
-        groups.iter().map(|&(slice, _)| Vec::with_capacity(counts[slice] as usize)).collect();
-    for &v in values {
-        let slot = slot_of[slice_of(v, min, shift)];
-        if slot != u32::MAX {
-            gathered[slot as usize].push(v);
+    let blocks = refined.len();
+
+    level.slot_of.clear();
+    level.slot_of.resize(slices, u32::MAX);
+    if blocks > 0 {
+        recorder.counter("radix.slices_split", blocks as u64);
+        for (b, &g) in refined.iter().enumerate() {
+            level.slot_of[groups[g].0] = REFINED_TAG | b as u32;
+        }
+        // Combined second-level counting pass over the whole level:
+        // elements of refined slices tally into their block's counters.
+        count_refined_into(
+            values,
+            min,
+            shift,
+            sub_shift,
+            sub_width,
+            &level.slot_of,
+            threads,
+            blocks * sub_width,
+            &mut level.sub_counts,
+        );
+    }
+    level.sub_slot.clear();
+    level.sub_slot.resize(blocks * sub_width, u32::MAX);
+
+    // Walk the groups in rank order, assembling the output skeleton:
+    // refined blocks at sub_shift == 0 resolve inline from their
+    // sub-prefix sums; everything else becomes a gather job addressed
+    // through slot_of / sub_slot. `cursor` tracks the next output slot
+    // since exact and gathered entries interleave.
+    let mut out: Vec<(i64, u64)> = vec![(0, 0); ranks.len()];
+    let mut jobs: Vec<GatherJob> = Vec::new();
+    let mut cursor = 0usize;
+    let mut next_refined = 0usize;
+    let mut residue = 0u64;
+    for (g, (slice, locals)) in groups.into_iter().enumerate() {
+        if refined.get(next_refined) != Some(&g) {
+            let expected = level.counts[slice] as usize;
+            let rank_count = locals.len();
+            residue += expected as u64;
+            level.slot_of[slice] = jobs.len() as u32;
+            jobs.push(GatherJob {
+                out_start: cursor,
+                base: level.prefix[slice],
+                elems: take_buffer(&mut level.buffers, expected),
+                locals,
+            });
+            cursor += rank_count;
+            continue;
+        }
+        let block = next_refined;
+        next_refined += 1;
+        let base = level.prefix[slice];
+        let lo = slice_lo(min, slice, shift);
+        let sub_counts = &level.sub_counts[block * sub_width..(block + 1) * sub_width];
+        debug_assert_eq!(sub_counts.iter().sum::<u64>(), level.counts[slice]);
+        // Walk the block's implicit prefix sums and its ascending local
+        // ranks together: `acc`/`end` bracket sub-slice `sub`.
+        let mut sub = 0usize;
+        let mut acc = 0u64;
+        let mut end = sub_counts[0];
+        let mut i = 0usize;
+        while i < locals.len() {
+            let r = locals[i] as u64;
+            while end <= r {
+                sub += 1;
+                acc = end;
+                end += sub_counts[sub];
+            }
+            if sub_shift == 0 {
+                // One counter per value: the rank resolves exactly,
+                // with no gather (the heavy-slice fast path).
+                let value = lo.wrapping_add(sub as i64);
+                out[cursor] = (value, base + end);
+                cursor += 1;
+                i += 1;
+            } else {
+                // Every local rank of this sub-slice joins one job.
+                let mut j = i;
+                while j < locals.len() && (locals[j] as u64) < end {
+                    j += 1;
+                }
+                let expected = (end - acc) as usize;
+                residue += expected as u64;
+                level.sub_slot[block * sub_width + sub] = jobs.len() as u32;
+                jobs.push(GatherJob {
+                    out_start: cursor,
+                    base: base + acc,
+                    locals: locals[i..j].iter().map(|&l| l - acc as usize).collect(),
+                    elems: take_buffer(&mut level.buffers, expected),
+                });
+                cursor += j - i;
+                i = j;
+            }
+        }
+    }
+    debug_assert_eq!(cursor, ranks.len());
+    if recorder.is_enabled() {
+        // The residue — tuples gathered after refinement — is the
+        // skew-sensitive cost of this route; surface it per level.
+        recorder.counter("radix.slices_gathered", jobs.len() as u64);
+        recorder.counter("radix.residue_tuples", residue);
+    }
+
+    // Gather pass: exact capacity was reserved from the counts above.
+    if !jobs.is_empty() {
+        for &v in values {
+            let tag = level.slot_of[slice_of(v, min, shift)];
+            if tag == u32::MAX {
+                continue;
+            }
+            let job = if tag & REFINED_TAG == 0 {
+                tag as usize
+            } else {
+                let block = (tag & !REFINED_TAG) as usize;
+                let lo = slice_lo(min, slice_of(v, min, shift), shift);
+                let sub = (v.abs_diff(lo) >> sub_shift) as usize;
+                match level.sub_slot[block * sub_width + sub] {
+                    u32::MAX => continue,
+                    slot => slot as usize,
+                }
+            };
+            jobs[job].elems.push(v);
         }
     }
 
-    // Resolve each slice independently (they are disjoint value ranges),
-    // then rebase local count_le to global with the slice prefix. Groups
-    // are in rank order, so concatenation restores request order.
-    let work: Vec<(usize, Vec<usize>, Vec<i64>)> = groups
-        .into_iter()
-        .zip(gathered)
-        .map(|((slice, locals), elems)| (slice, locals, elems))
-        .collect();
-    if recorder.is_enabled() {
-        // The gathered residue is the skew-sensitive cost of this route
-        // (see ROADMAP on heavy Zipf slices) — surface it per level.
-        recorder.counter("radix.slices_gathered", work.len() as u64);
-        recorder
-            .counter("radix.values_gathered", work.iter().map(|(_, _, e)| e.len() as u64).sum());
+    // Resolve each job independently (disjoint value ranges), then
+    // rebase its local count_le with the precomputed base. Serially the
+    // recursion reuses the deeper scratch levels; in parallel each job
+    // runs single-threaded on its own fresh levels.
+    let resolved: Vec<Vec<(i64, u64)>> = if threads <= 1 || jobs.len() <= 1 {
+        jobs.iter_mut().map(|job| resolve_job(job, threads, deeper)).collect()
+    } else {
+        parallel::par_map_mut_threads(threads, &mut jobs, |job| {
+            resolve_job(job, 1, &mut fresh_levels())
+        })
+    };
+    for (job, local) in jobs.iter().zip(resolved) {
+        for (i, (v, le)) in local.into_iter().enumerate() {
+            out[job.out_start + i] = (v, job.base + le);
+        }
     }
-    let resolved: Vec<Vec<(i64, u64)>> = parallel::par_map(&work, |(slice, locals, elems)| {
-        let local = if elems.len() >= RECURSE_MIN {
-            // Recurse with the slice's *actual* value range (tighter
-            // than the slice bounds), shrinking the span per level.
-            samplehist_obs::global().counter("radix.slices_recursed", 1);
-            let (lo, hi) = selection::min_max(elems);
-            resolve_in_range(elems, locals, lo, hi)
-        } else {
-            samplehist_obs::global().counter("radix.slices_sorted", 1);
-            let mut sorted = elems.clone();
-            sorted.sort_unstable();
-            locals
-                .iter()
-                .map(|&r| {
-                    let v = sorted[r];
-                    (v, sorted.partition_point(|&x| x <= v) as u64)
-                })
-                .collect()
-        };
-        local.into_iter().map(|(v, le)| (v, prefix[*slice] + le)).collect()
-    });
-    resolved.into_iter().flatten().collect()
+    for job in jobs {
+        level.buffers.push(job.elems);
+    }
+    out
+}
+
+/// Resolve one gather job's local ranks against its gathered elements.
+fn resolve_job(
+    job: &mut GatherJob,
+    threads: usize,
+    deeper: &mut [LevelScratch],
+) -> Vec<(i64, u64)> {
+    if job.elems.len() >= RECURSE_MIN {
+        // Recurse with the job's *actual* value range (tighter than the
+        // slice bounds), shrinking the span per level.
+        samplehist_obs::global().counter("radix.slices_recursed", 1);
+        let (lo, hi) = selection::min_max(&job.elems);
+        resolve_in_range(&job.elems, &job.locals, lo, hi, threads, deeper)
+    } else {
+        samplehist_obs::global().counter("radix.slices_sorted", 1);
+        job.elems.sort_unstable();
+        job.locals
+            .iter()
+            .map(|&r| {
+                let v = job.elems[r];
+                (v, job.elems.partition_point(|&x| x <= v) as u64)
+            })
+            .collect()
+    }
+}
+
+/// Lower bound of slice `s`: `min + s·2^shift`. For any non-empty slice
+/// the true bound is ≤ some element ≤ `i64::MAX`, so two's-complement
+/// wrapping arithmetic reproduces it exactly even when the intermediate
+/// shift leaves the signed range.
+#[inline]
+fn slice_lo(min: i64, s: usize, shift: u32) -> i64 {
+    min.wrapping_add(((s as u64) << shift) as i64)
 }
 
 #[inline]
@@ -193,26 +512,127 @@ fn slice_of(v: i64, min: i64, shift: u32) -> usize {
     (v.abs_diff(min) >> shift) as usize
 }
 
-fn count_slices(values: &[i64], min: i64, shift: u32, slices: usize) -> Vec<u64> {
-    let tally = |chunk: &[i64]| {
-        let mut counts = vec![0u64; slices];
+fn take_buffer(pool: &mut Vec<Vec<i64>>, expected: usize) -> Vec<i64> {
+    let mut buf = pool.pop().unwrap_or_default();
+    buf.clear();
+    buf.reserve(expected);
+    buf
+}
+
+/// Walk an exact (one counter per value) histogram and the ascending
+/// `ranks` together: `le` is the running `count_le` through counter `s`.
+fn resolve_exact<C: Copy + Into<u64>>(ranks: &[usize], min: i64, counts: &[C]) -> Vec<(i64, u64)> {
+    let mut out = Vec::with_capacity(ranks.len());
+    let mut s = 0usize;
+    let mut le: u64 = counts[0].into();
+    for &r in ranks {
+        while le <= r as u64 {
+            s += 1;
+            le += counts[s].into();
+        }
+        // s < slices ≤ 2^DIRECT_EXACT_BITS, and min + s ≤ max: no overflow.
+        out.push((min + s as i64, le));
+    }
+    out
+}
+
+/// Exact counting pass with u32 counters (`shift == 0`, `n < u32::MAX`).
+fn count_exact32_into(values: &[i64], min: i64, slices: usize, threads: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(slices, 0);
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        for &v in values {
+            out[v.abs_diff(min) as usize] += 1;
+        }
+        return;
+    }
+    let partials = parallel::par_chunks_map(threads, values, threads, |chunk: &[i64]| {
+        let mut counts = vec![0u32; slices];
         for &v in chunk {
-            counts[slice_of(v, min, shift)] += 1;
+            counts[v.abs_diff(min) as usize] += 1;
         }
         counts
-    };
-    let threads = parallel::num_threads();
-    if threads <= 1 || values.len() < PAR_COUNT_MIN {
-        return tally(values);
-    }
-    let partials = parallel::par_chunks_map(threads, values, threads, tally);
-    let mut out = vec![0u64; slices];
+    });
     for partial in partials {
         for (acc, c) in out.iter_mut().zip(partial) {
             *acc += c;
         }
     }
-    out
+}
+
+fn count_slices_into(
+    values: &[i64],
+    min: i64,
+    shift: u32,
+    slices: usize,
+    threads: usize,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    out.resize(slices, 0);
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        for &v in values {
+            out[slice_of(v, min, shift)] += 1;
+        }
+        return;
+    }
+    let partials = parallel::par_chunks_map(threads, values, threads, |chunk: &[i64]| {
+        let mut counts = vec![0u64; slices];
+        for &v in chunk {
+            counts[slice_of(v, min, shift)] += 1;
+        }
+        counts
+    });
+    for partial in partials {
+        for (acc, c) in out.iter_mut().zip(partial) {
+            *acc += c;
+        }
+    }
+}
+
+/// Second-level counting pass: elements whose slice carries a
+/// `REFINED_TAG` tally into `out[block · sub_width + sub]`.
+#[allow(clippy::too_many_arguments)]
+fn count_refined_into(
+    values: &[i64],
+    min: i64,
+    shift: u32,
+    sub_shift: u32,
+    sub_width: usize,
+    slot_of: &[u32],
+    threads: usize,
+    counters: usize,
+    out: &mut Vec<u64>,
+) {
+    let tally_one = |counts: &mut [u64], v: i64| {
+        let s = slice_of(v, min, shift);
+        let tag = slot_of[s];
+        if tag != u32::MAX && tag & REFINED_TAG != 0 {
+            let block = (tag & !REFINED_TAG) as usize;
+            let sub = (v.abs_diff(slice_lo(min, s, shift)) >> sub_shift) as usize;
+            counts[block * sub_width + sub] += 1;
+        }
+    };
+    out.clear();
+    out.resize(counters, 0);
+    if threads <= 1 || values.len() < PAR_COUNT_MIN {
+        for &v in values {
+            tally_one(out, v);
+        }
+        return;
+    }
+    let partials = parallel::par_chunks_map(threads, values, threads, |chunk: &[i64]| {
+        let mut counts = vec![0u64; counters];
+        for &v in chunk {
+            tally_one(&mut counts, v);
+        }
+        counts
+    });
+    for partial in partials {
+        for (acc, c) in out.iter_mut().zip(partial) {
+            *acc += c;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,13 +667,30 @@ mod tests {
         super::super::selection::separator_ranks(n, k)
     }
 
+    /// Heavy runs (each ≥ RECURSE_MIN, triggering refinement) spread
+    /// over `domain`, padded with a light noisy tail.
+    fn skewed(domain: u64, heavy_runs: usize, seed: u64) -> Vec<i64> {
+        let mut values = Vec::new();
+        let mut x = seed | 1;
+        for i in 0..heavy_runs {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % domain) as i64 - (domain / 2) as i64;
+            values.resize(values.len() + RECURSE_MIN + 500 * i, v);
+        }
+        values.extend(noisy(2000, domain, seed ^ 0xFF));
+        values
+    }
+
     #[test]
     fn matches_sorted_reference_across_shapes() {
         for (n, domain, k) in [
             (1usize, 3u64, 2usize),
             (10, 4, 5),
             (1000, 7, 10),               // shift == 0 fast path (tiny span)
-            (5000, 1 << 20, 64),         // one radix level
+            (5000, 1 << 20, 64),         // direct-exact (bits ≤ DIRECT_EXACT_BITS)
+            (5000, 1 << 28, 64),         // one radix level
             (20_000, u64::MAX / 2, 100), // wide span, recursion possible
             (50_000, 65, 600),           // heavy duplicates, many equal separators
         ] {
@@ -280,12 +717,90 @@ mod tests {
     }
 
     #[test]
+    fn refinement_exact_path_matches_reference() {
+        // Domain ≤ 2^33 ⇒ top shift ≤ EXACT_BITS ⇒ sub_shift == 0: the
+        // heavy slices refine straight to one-counter-per-value and all
+        // their ranks resolve with no gather.
+        for heavy_runs in [1usize, 3, 8] {
+            let values = skewed(1 << 32, heavy_runs, 0xBEEF);
+            for k in [2usize, 17, 128] {
+                let ranks = spread_ranks(values.len(), k);
+                let got = resolve_ranks(&values, &ranks);
+                assert_eq!(got.entries, reference(&values, &ranks), "runs={heavy_runs} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_subgather_path_matches_reference() {
+        // Domain ~2^46 ⇒ sub_shift > 0: refined blocks still gather
+        // their rank-bearing sub-slices (much smaller than the slice).
+        for heavy_runs in [1usize, 4] {
+            let values = skewed(1 << 45, heavy_runs, 0xD00D);
+            for k in [5usize, 64] {
+                let ranks = spread_ranks(values.len(), k);
+                let got = resolve_ranks(&values, &ranks);
+                assert_eq!(got.entries, reference(&values, &ranks), "runs={heavy_runs} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_and_threads_are_byte_identical() {
+        let mut scratch = Scratch::new();
+        for seed in [0x1111u64, 0x2222, 0x3333] {
+            let values = skewed(1 << 32, 4, seed);
+            let ranks = spread_ranks(values.len(), 40);
+            let expect = reference(&values, &ranks);
+            for threads in [1usize, 4] {
+                let got = resolve_ranks_with(threads, &values, &ranks, &mut scratch);
+                assert_eq!(got.entries, expect, "seed={seed} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_reports_split_and_residue_counters() {
+        use samplehist_obs::{PromSink, Recorder};
+        use std::sync::Arc;
+        // Process-global recorder: other tests in this binary may also
+        // record, so assertions are lower bounds on our own traffic.
+        let prom = Arc::new(PromSink::new());
+        samplehist_obs::set_global(Recorder::with_sinks(vec![prom.clone()]));
+        let values = skewed(1 << 32, 4, 0xCAFE);
+        let ranks = spread_ranks(values.len(), 64);
+        let got = resolve_ranks(&values, &ranks);
+        assert_eq!(got.entries, reference(&values, &ranks));
+        assert!(prom.counter_value("radix.slices_split").unwrap_or(0) >= 1, "slices_split");
+        // At the exact-refine domain every rank-bearing slice resolves
+        // inline, so nothing is gathered; the wide domain's sub-gather
+        // path is what leaves a residue.
+        let wide = skewed(1 << 45, 4, 0xCAFE);
+        let wide_ranks = spread_ranks(wide.len(), 64);
+        let got_wide = resolve_ranks(&wide, &wide_ranks);
+        assert_eq!(got_wide.entries, reference(&wide, &wide_ranks));
+        assert!(prom.counter_value("radix.residue_tuples").unwrap_or(0) >= 1, "residue_tuples");
+    }
+
+    #[test]
     fn extreme_values_do_not_overflow() {
         let values = vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MIN, i64::MAX];
         let ranks: Vec<usize> = (0..values.len()).collect();
         let got = resolve_ranks(&values, &ranks);
         assert_eq!(got.entries, reference(&values, &ranks));
         assert_eq!((got.min, got.max), (i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn extreme_span_with_heavy_runs_refines_without_overflow() {
+        // Full i64 span + refinement-triggering heavy runs: exercises
+        // slice_lo's wrapping arithmetic at both ends of the domain.
+        let mut values = vec![i64::MIN; RECURSE_MIN * 2];
+        values.extend(vec![i64::MAX; RECURSE_MIN * 2]);
+        values.extend(noisy(4000, 1 << 40, 0x5EED));
+        let ranks = spread_ranks(values.len(), 33);
+        let got = resolve_ranks(&values, &ranks);
+        assert_eq!(got.entries, reference(&values, &ranks));
     }
 
     #[test]

@@ -259,6 +259,7 @@ pub fn run_traced(
     let mut rounds: Vec<CvbRound> = Vec::new();
     let mut histogram: Option<EquiHeightHistogram> = None;
     let mut converged = false;
+    let mut scratch = Scratch::default();
 
     let mut round = 0usize;
     while permutation.drawn() < max_blocks {
@@ -271,47 +272,49 @@ pub fn run_traced(
             tuples_per_block: b,
         };
         let want = config.schedule.next_blocks(&ctx).min(max_blocks - permutation.drawn());
-        let fresh_ids: Vec<usize> = permutation.take(want).to_vec();
-        if fresh_ids.is_empty() {
+        scratch.fresh_ids.clear();
+        scratch.fresh_ids.extend_from_slice(permutation.take(want));
+        if scratch.fresh_ids.is_empty() {
             break;
         }
         let mut round_span = run_span.child("cvb.round");
 
-        // Collect and sort this round's tuples.
-        let mut fresh: Vec<i64> = Vec::with_capacity((b * fresh_ids.len() as f64) as usize);
-        for &id in &fresh_ids {
-            fresh.extend_from_slice(source.block(id));
+        // Collect and sort this round's tuples (buffer reused per round).
+        scratch.fresh.clear();
+        scratch.fresh.reserve((b * scratch.fresh_ids.len() as f64) as usize);
+        for &id in &scratch.fresh_ids {
+            scratch.fresh.extend_from_slice(source.block(id));
         }
-        fresh.sort_unstable();
+        scratch.fresh.sort_unstable();
 
         // Cross-validate the *current* histogram against the fresh sample
         // (Definition 4's fractional error; reduces to Definition 1 when
         // values are distinct).
         let cv_error = histogram.as_ref().map(|h| {
-            let validation: Vec<i64> = match config.validation {
-                ValidationMode::AllTuples => fresh.clone(),
+            let validation: &[i64] = match config.validation {
+                ValidationMode::AllTuples => &scratch.fresh,
                 ValidationMode::OneTuplePerBlock => {
-                    let mut one_each: Vec<i64> = fresh_ids
-                        .iter()
-                        .map(|&id| {
-                            let blk = source.block(id);
-                            blk[rng.gen_range(0..blk.len())]
-                        })
-                        .collect();
-                    one_each.sort_unstable();
-                    one_each
+                    scratch.validation.clear();
+                    scratch.validation.extend(scratch.fresh_ids.iter().map(|&id| {
+                        let blk = source.block(id);
+                        blk[rng.gen_range(0..blk.len())]
+                    }));
+                    scratch.validation.sort_unstable();
+                    &scratch.validation
                 }
             };
-            fractional_max_error(h.separators(), &accumulated, &validation).max
+            fractional_max_error(h.separators(), &accumulated, validation).max
         });
 
-        // Merge (step 4c) and rebuild.
-        accumulated = merge_sorted(&accumulated, &fresh);
+        // Merge (step 4c) into the scratch's other buffer, swap it in
+        // (double-buffer: no per-round allocation), and rebuild.
+        merge_sorted_into(&accumulated, &scratch.fresh, &mut scratch.merged);
+        std::mem::swap(&mut accumulated, &mut scratch.merged);
         histogram = Some(EquiHeightHistogram::from_sorted_sample(&accumulated, config.buckets, n));
 
         rounds.push(CvbRound {
             round,
-            new_blocks: fresh_ids.len(),
+            new_blocks: scratch.fresh_ids.len(),
             total_blocks: permutation.drawn(),
             total_tuples: accumulated.len() as u64,
             cross_validation_error: cv_error,
@@ -320,7 +323,7 @@ pub fn run_traced(
         // Step 5: terminate once validation passes.
         let accepted = cv_error.is_some_and(|err| err < config.target_f);
         round_span.field("round", round);
-        round_span.field("new_blocks", fresh_ids.len());
+        round_span.field("new_blocks", scratch.fresh_ids.len());
         round_span.field("total_blocks", permutation.drawn());
         round_span.field("r", accumulated.len());
         round_span.field("target_f", config.target_f);
@@ -364,9 +367,28 @@ pub fn run_traced(
     result
 }
 
-/// Merge two sorted vectors (the accumulated sample and a fresh batch).
-fn merge_sorted(a: &[i64], fresh: &[i64]) -> Vec<i64> {
-    let mut out = Vec::with_capacity(a.len() + fresh.len());
+/// Reusable per-round buffers for the adaptive loop. Without these, every
+/// round of [`run`] allocated four vectors (the drawn block ids, the fresh
+/// tuple batch, the one-tuple-per-block validation set, and the merged
+/// accumulated sample); with the doubling schedule that is `O(r)` churn per
+/// round on a sample that only grows. The `merged` buffer double-buffers
+/// against the accumulated sample: [`merge_sorted_into`] writes into it and
+/// a `swap` makes it the new accumulated vector, so the previous round's
+/// allocation is recycled as the next round's merge target.
+#[derive(Default)]
+struct Scratch {
+    fresh_ids: Vec<usize>,
+    fresh: Vec<i64>,
+    merged: Vec<i64>,
+    validation: Vec<i64>,
+}
+
+/// Merge two sorted slices (the accumulated sample and a fresh batch) into
+/// `out`, clearing it first. The caller owns `out` so its capacity is
+/// reused across rounds.
+fn merge_sorted_into(a: &[i64], fresh: &[i64], out: &mut Vec<i64>) {
+    out.clear();
+    out.reserve(a.len() + fresh.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < fresh.len() {
         if a[i] <= fresh[j] {
@@ -379,7 +401,6 @@ fn merge_sorted(a: &[i64], fresh: &[i64]) -> Vec<i64> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&fresh[j..]);
-    out
 }
 
 #[cfg(test)]
@@ -399,10 +420,17 @@ mod tests {
 
     #[test]
     fn merge_sorted_basics() {
-        assert_eq!(merge_sorted(&[1, 3, 5], &[2, 4]), vec![1, 2, 3, 4, 5]);
-        assert_eq!(merge_sorted(&[], &[1, 2]), vec![1, 2]);
-        assert_eq!(merge_sorted(&[1, 2], &[]), vec![1, 2]);
-        assert_eq!(merge_sorted(&[1, 1], &[1]), vec![1, 1, 1]);
+        let mut out = Vec::new();
+        merge_sorted_into(&[1, 3, 5], &[2, 4], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        merge_sorted_into(&[], &[1, 2], &mut out);
+        assert_eq!(out, vec![1, 2]);
+        merge_sorted_into(&[1, 2], &[], &mut out);
+        assert_eq!(out, vec![1, 2]);
+        merge_sorted_into(&[1, 1], &[1], &mut out);
+        assert_eq!(out, vec![1, 1, 1]);
+        // Capacity from the largest merge is retained for reuse.
+        assert!(out.capacity() >= 5);
     }
 
     #[test]

@@ -8,8 +8,12 @@ use rand::SeedableRng;
 use samplehist_core::bounds::{corollary1_error, corollary1_sample_size, theorem5_sample_size};
 use samplehist_core::distinct::{DistinctEstimator, FrequencyProfile, Gee};
 use samplehist_core::error::{delta_separation, fractional_max_error};
-use samplehist_core::estimate::RangeEstimator;
-use samplehist_core::histogram::{selection, EquiHeightHistogram};
+use samplehist_core::estimate::{
+    duplication_density, duplication_density_from_profile, RangeEstimator,
+};
+use samplehist_core::histogram::{
+    selection, CompressedHistogram, ConstructionRoute, EquiHeightHistogram,
+};
 use samplehist_core::math::{hypergeometric_pmf, ln_binomial};
 use samplehist_core::sampling::{Reservoir, Schedule, ScheduleContext};
 
@@ -28,6 +32,35 @@ fn unsorted_multiset(runs: std::ops::Range<usize>) -> impl Strategy<Value = Vec<
     prop::collection::vec((-1000i64..1000, 4usize..8), runs).prop_map(|runs| {
         runs.into_iter().flat_map(|(val, c)| std::iter::repeat(val).take(c)).collect()
     })
+}
+
+/// Heavy-duplicate Zipf-like multisets: a few runs big enough to trip the
+/// radix refinement's heavy-slice detector (≥ 8192 tuples per run, and
+/// heavy mass dominating `n`), plus a light scattered tail, over a domain
+/// wide enough that the top radix pass cannot resolve values exactly.
+fn skewed_multiset(domain: i64) -> impl Strategy<Value = Vec<i64>> {
+    let heavy = prop::collection::vec((-domain..domain, 9000usize..12_000), 1..4);
+    let light = prop::collection::vec(-domain..domain, 0..1500);
+    (heavy, light).prop_map(|(heavy, light)| {
+        let mut v: Vec<i64> = Vec::new();
+        for (val, c) in heavy {
+            v.resize(v.len() + c, val);
+        }
+        v.extend(light);
+        v
+    })
+}
+
+/// Install a process-global Prometheus recorder once, so the byte-identity
+/// properties below run with recording *enabled* — the paths under test
+/// emit spans and counters, and recording must never perturb results.
+fn enable_recording() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let sink: std::sync::Arc<dyn samplehist_obs::Sink> =
+            std::sync::Arc::new(samplehist_obs::PromSink::new());
+        samplehist_obs::set_global(samplehist_obs::Recorder::with_sinks(vec![sink]));
+    });
 }
 
 proptest! {
@@ -240,6 +273,96 @@ proptest! {
         prop_assert_eq!(
             FrequencyProfile::from_sorted_sample_threads(threads, &sorted),
             FrequencyProfile::from_sorted_sample_threads(1, &sorted)
+        );
+    }
+
+    /// The skew-refined radix route (exact sub-resolution: the ±2³² domain
+    /// keeps the refinement's sub-shift at zero) is byte-identical to
+    /// sort + `from_sorted` on heavy-duplicate multisets, serial and
+    /// parallel, with recording enabled.
+    #[test]
+    fn refined_radix_exact_equals_sort_path(
+        data in skewed_multiset(1 << 32),
+        k in 2usize..32,
+    ) {
+        enable_recording();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let reference = EquiHeightHistogram::from_sorted(&sorted, k);
+        for threads in [1usize, 4] {
+            let mut work = data.clone();
+            let got = EquiHeightHistogram::from_unsorted_with_route_threads(
+                threads, &mut work, k, ConstructionRoute::Radix,
+            );
+            prop_assert_eq!(&got, &reference, "threads = {}", threads);
+        }
+    }
+
+    /// Same property over a ±2⁴⁵ domain, where refined slices are too wide
+    /// to resolve exactly and the sub-slice gather/recursion path runs.
+    #[test]
+    fn refined_radix_subgather_equals_sort_path(
+        data in skewed_multiset(1 << 45),
+        k in 2usize..32,
+    ) {
+        enable_recording();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let reference = EquiHeightHistogram::from_sorted(&sorted, k);
+        for threads in [1usize, 4] {
+            let mut work = data.clone();
+            let got = EquiHeightHistogram::from_unsorted_with_route_threads(
+                threads, &mut work, k, ConstructionRoute::Radix,
+            );
+            prop_assert_eq!(&got, &reference, "threads = {}", threads);
+        }
+    }
+
+    /// The sort-free compressed histogram (rank probing + exact counting,
+    /// no global order ever established) equals the sort-based one on
+    /// heavy-duplicate multisets — plain and sampled, serial and parallel.
+    #[test]
+    fn sortfree_compressed_equals_sort_path(
+        data in skewed_multiset(1 << 32),
+        k in 1usize..24,
+        extra_pop in 0u64..50_000,
+    ) {
+        enable_recording();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let reference = CompressedHistogram::from_sorted(&sorted, k);
+        let pop = data.len() as u64 + extra_pop;
+        let sampled_reference = CompressedHistogram::from_sorted_sample(&sorted, k, pop);
+        for threads in [1usize, 4] {
+            prop_assert_eq!(
+                &CompressedHistogram::from_unsorted_threads(threads, &data, k),
+                &reference,
+                "threads = {}", threads
+            );
+            prop_assert_eq!(
+                &CompressedHistogram::from_unsorted_sample_threads(threads, &data, k, pop),
+                &sampled_reference,
+                "sampled, threads = {}", threads
+            );
+        }
+    }
+
+    /// The hashed (unsorted) frequency profile matches the sorted tally,
+    /// and the profile-derived density is bit-identical to the sorted
+    /// run-length density — together they justify ANALYZE's sort-free
+    /// estimate path.
+    #[test]
+    fn unsorted_profile_and_density_equal_sorted(
+        data in unsorted_multiset(1..500),
+        threads in 1usize..10,
+    ) {
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let profile = FrequencyProfile::from_unsorted_sample_threads(threads, &data);
+        prop_assert_eq!(&profile, &FrequencyProfile::from_sorted_sample(&sorted));
+        prop_assert_eq!(
+            duplication_density_from_profile(&profile).to_bits(),
+            duplication_density(&sorted).to_bits()
         );
     }
 }

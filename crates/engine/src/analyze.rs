@@ -4,8 +4,8 @@ use rand::Rng;
 use samplehist_obs::Recorder;
 
 use samplehist_core::distinct::{DistinctEstimator, FrequencyProfile, Gee};
-use samplehist_core::estimate::duplication_density;
-use samplehist_core::histogram::{CompressedHistogram, EquiHeightHistogram};
+use samplehist_core::estimate::duplication_density_from_profile;
+use samplehist_core::histogram::{selection_profitable, CompressedHistogram, EquiHeightHistogram};
 use samplehist_core::sampling::{cvb, CvbConfig, Schedule, ValidationMode};
 use samplehist_core::BlockSource;
 use samplehist_storage::{BlockSampler, IoStats, RecordSampler};
@@ -156,10 +156,12 @@ pub fn analyze_traced(
     root.field("pages", file.num_pages());
     root.field("buckets", options.buckets);
 
-    // Acquire the (sorted) tuples statistics are computed from, plus the
-    // I/O bill and whether they are the whole column.
+    // Acquire the tuples statistics are computed from, plus the I/O bill,
+    // whether they are the whole column, and whether the acquisition
+    // already produced them sorted (CVB merges sorted rounds; everything
+    // else yields storage order).
     let mut acquire = root.child("analyze.acquire");
-    let (mut sample, io, method, is_full) = match options.mode {
+    let (mut sample, io, method, is_full, presorted) = match options.mode {
         AnalyzeMode::FullScan => {
             acquire.field("mode", "full_scan");
             let mut io = IoStats::new();
@@ -179,7 +181,7 @@ pub fn analyze_traced(
                 recorder.counter("storage.pages_sequential", io.pages_read - 1);
                 recorder.counter("storage.pages_random", 1);
             }
-            (values, io, "full scan".to_string(), true)
+            (values, io, "full scan".to_string(), true, false)
         }
         AnalyzeMode::RowSample { rate } => {
             assert!(rate > 0.0 && rate <= 1.0, "row-sampling rate must be in (0,1]");
@@ -188,7 +190,7 @@ pub fn analyze_traced(
             let r = ((n as f64 * rate).ceil() as usize).max(1);
             let mut sampler = RecordSampler::with_recorder(recorder.clone());
             let values = sampler.sample(file, r, rng);
-            (values, sampler.io(), format!("row sample {:.2}%", rate * 100.0), false)
+            (values, sampler.io(), format!("row sample {:.2}%", rate * 100.0), false, false)
         }
         AnalyzeMode::BlockSample { rate } => {
             assert!(rate > 0.0 && rate <= 1.0, "block-sampling rate must be in (0,1]");
@@ -198,7 +200,7 @@ pub fn analyze_traced(
             let mut sampler = BlockSampler::with_recorder(recorder.clone());
             let values = sampler.sample(file, g, rng);
             let full = g == file.num_pages();
-            (values, sampler.io(), format!("block sample {:.2}%", rate * 100.0), full)
+            (values, sampler.io(), format!("block sample {:.2}%", rate * 100.0), full, false)
         }
         AnalyzeMode::Adaptive { target_f, gamma } => {
             acquire.field("mode", "adaptive");
@@ -224,7 +226,7 @@ pub fn analyze_traced(
                 result.rounds.len(),
                 if result.converged { "converged" } else { "exhausted" }
             );
-            (result.sample_sorted, io, method, result.exhausted)
+            (result.sample_sorted, io, method, result.exhausted, true)
         }
     };
     acquire.field("pages_read", io.pages_read);
@@ -232,36 +234,69 @@ pub fn analyze_traced(
     acquire.field("sampling_rate", io.tuples_read as f64 / (n.max(1)) as f64);
     acquire.finish();
 
-    // Full scans and large samples dominate ANALYZE wall-clock here;
-    // sort across cores (serial fallback below the parallel cutoff).
+    // Decide whether the full sort can be skipped: CVB hands back an
+    // already-sorted sample, and for everything else the selection/radix
+    // rank resolvers plus the hashed frequency profile cover every
+    // downstream consumer without a global order (skipped only at tiny
+    // `n`, where the sort is free anyway and the routes tie). The
+    // `analyze.sort` span is always emitted so traces keep their shape;
+    // its `route` field says what actually happened.
+    let sort_free = !presorted && selection_profitable(sample.len(), options.buckets);
     let mut sort_span = root.child("analyze.sort");
     sort_span.field("n", sample.len());
-    samplehist_parallel::par_sort_unstable(&mut sample);
+    sort_span.field(
+        "route",
+        if presorted {
+            "presorted"
+        } else if sort_free {
+            "deferred_sort_free"
+        } else {
+            "sorted"
+        },
+    );
+    if !presorted && !sort_free {
+        // Full scans and large samples dominate ANALYZE wall-clock here;
+        // sort across cores (serial fallback below the parallel cutoff).
+        samplehist_parallel::par_sort_unstable(&mut sample);
+    }
     sort_span.finish();
 
     let mut build_span = root.child("analyze.build");
     build_span.field("buckets", options.buckets);
     build_span.field("route", if is_full { "exact" } else { "scaled_sample" });
+    build_span.field("sort_free", sort_free);
     build_span.field("compressed", options.compressed);
-    let histogram = if is_full {
-        EquiHeightHistogram::from_sorted(&sample, options.buckets)
-    } else {
-        EquiHeightHistogram::from_sorted_sample(&sample, options.buckets, n)
-    };
-    let compressed = options.compressed.then(|| {
-        if is_full {
-            CompressedHistogram::from_sorted(&sample, options.buckets)
-        } else {
-            CompressedHistogram::from_sorted_sample(&sample, options.buckets, n)
-        }
+    // The sort-free equi-height build partitions `sample` in place; the
+    // compressed build only reads it, and every consumer below is
+    // order-insensitive, so build order does not matter.
+    let compressed = options.compressed.then(|| match (sort_free, is_full) {
+        (true, true) => CompressedHistogram::from_unsorted(&sample, options.buckets),
+        (true, false) => CompressedHistogram::from_unsorted_sample(&sample, options.buckets, n),
+        (false, true) => CompressedHistogram::from_sorted(&sample, options.buckets),
+        (false, false) => CompressedHistogram::from_sorted_sample(&sample, options.buckets, n),
     });
+    let histogram = match (sort_free, is_full) {
+        (true, true) => EquiHeightHistogram::from_unsorted_in_place(&mut sample, options.buckets),
+        (true, false) => {
+            EquiHeightHistogram::from_unsorted_sample_in_place(&mut sample, options.buckets, n)
+        }
+        (false, true) => EquiHeightHistogram::from_sorted(&sample, options.buckets),
+        (false, false) => EquiHeightHistogram::from_sorted_sample(&sample, options.buckets, n),
+    };
     build_span.finish();
 
     let mut est_span = root.child("analyze.estimate");
-    let profile = FrequencyProfile::from_sorted_sample(&sample);
+    let profile = if sort_free {
+        FrequencyProfile::from_unsorted_sample(&sample)
+    } else {
+        FrequencyProfile::from_sorted_sample(&sample)
+    };
     let distinct_in_sample = profile.distinct_in_sample();
     let distinct_estimate =
         if is_full { distinct_in_sample as f64 } else { Gee.estimate(&profile, n) };
+    // Density comes from the profile on both routes (bit-identical to the
+    // sorted run-length form), so the sort-free path never needs order.
+    let density = duplication_density_from_profile(&profile);
     est_span.field("distinct_in_sample", distinct_in_sample);
     est_span.field("distinct_estimate", distinct_estimate);
     est_span.finish();
@@ -275,7 +310,7 @@ pub fn analyze_traced(
         num_rows: n,
         histogram,
         compressed,
-        density: duplication_density(&sample),
+        density,
         distinct_estimate,
         distinct_in_sample,
         sample_size: sample.len() as u64,
@@ -368,6 +403,23 @@ mod tests {
         assert!(s.io.pages_read > 0);
         assert!(s.sample_size > 0);
         assert_eq!(s.histogram.num_buckets(), 20);
+    }
+
+    #[test]
+    fn sort_free_route_matches_sorted_reference() {
+        // 20k rows with 50 buckets clears the selection-profitability bar,
+        // so this full scan takes the deferred sort-free route; every
+        // statistic must still match one built from the sorted column.
+        let t = orders_table(13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let opts = AnalyzeOptions::full_scan(50).with_compressed();
+        let s = analyze(&t, "amount", &opts, &mut rng).expect("column exists");
+        let mut sorted: Vec<i64> = (0..20_000).map(|i| i % 200).collect();
+        sorted.sort_unstable();
+        assert_eq!(s.histogram, EquiHeightHistogram::from_sorted(&sorted, 50));
+        assert_eq!(s.compressed, Some(CompressedHistogram::from_sorted(&sorted, 50)));
+        let expected = samplehist_core::estimate::duplication_density(&sorted);
+        assert_eq!(s.density.to_bits(), expected.to_bits(), "density must be bit-identical");
     }
 
     #[test]

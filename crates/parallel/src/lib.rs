@@ -10,9 +10,10 @@
 //!
 //! Every primitive is **bit-deterministic regardless of thread count**:
 //!
-//! * [`par_map`] writes each result into the slot of its input index, so
-//!   the output order equals the input order no matter which thread ran
-//!   which item; callers reduce the returned vector sequentially.
+//! * [`par_map`] (and the in-place [`par_map_mut_threads`]) writes each
+//!   result into the slot of its input index, so the output order equals
+//!   the input order no matter which thread ran which item; callers
+//!   reduce the returned vector sequentially.
 //! * [`par_chunks_map`] splits a slice at positions that depend only on
 //!   the requested chunk count, never on timing.
 //! * [`par_sort_unstable`] operates on totally ordered keys whose equal
@@ -111,6 +112,49 @@ where
     out.resize_with(items.len(), || None);
     std::thread::scope(|s| {
         for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            let recorder = &recorder;
+            s.spawn(move || {
+                let start = recorder.is_enabled().then(Instant::now);
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+                if let Some(start) = start {
+                    recorder.timing("parallel.chunk_ns", start.elapsed().as_nanos() as u64);
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Order-preserving parallel map over **mutable** items with an explicit
+/// thread count: like [`par_map_threads`], but the mapper gets `&mut T`,
+/// so work that rearranges its input in place (the radix resolver sorts
+/// gathered slices this way) needs no defensive clone. Results land in
+/// the slot of their input index; with `threads <= 1` the map runs
+/// serially on the calling thread.
+pub fn par_map_mut_threads<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let recorder = samplehist_obs::global();
+    if recorder.is_enabled() {
+        recorder.counter("parallel.par_map_mut.calls", 1);
+        recorder.counter("parallel.tasks_spawned", items.len().div_ceil(chunk) as u64);
+        recorder.gauge("parallel.threads", threads as f64);
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (in_chunk, out_chunk) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
             let f = &f;
             let recorder = &recorder;
             s.spawn(move || {
@@ -234,6 +278,30 @@ mod tests {
         let empty: Vec<u64> = vec![];
         assert!(par_map_threads(4, &empty, |&x| x).is_empty());
         assert_eq!(par_map_threads(4, &[9u64], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_preserves_order() {
+        let expect_results: Vec<u64> = (0..103).map(|x| x * x).collect();
+        let expect_items: Vec<u64> = (0..103).map(|x| x + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let mut items: Vec<u64> = (0..103).collect();
+            let results = par_map_mut_threads(threads, &mut items, |x| {
+                let sq = *x * *x;
+                *x += 1;
+                sq
+            });
+            assert_eq!(results, expect_results, "threads = {threads}");
+            assert_eq!(items, expect_items, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_single() {
+        let mut empty: Vec<u64> = vec![];
+        assert!(par_map_mut_threads(4, &mut empty, |&mut x| x).is_empty());
+        let mut one = [9u64];
+        assert_eq!(par_map_mut_threads(4, &mut one, |&mut x| x + 1), vec![10]);
     }
 
     #[test]
