@@ -1,0 +1,142 @@
+//! # samplehist-conformance
+//!
+//! The statistical conformance harness: seeded multi-trial experiments
+//! that check the *probabilistic* claims of the paper — not "the formula
+//! is transcribed correctly" (the unit tests in `samplehist-core` do
+//! that) but "the implementation actually delivers the promised coverage
+//! rates". Each experiment in `tests/theorems.rs` runs `T` independent
+//! trials under fixed seeds and compares an empirical failure count or
+//! proportion against the theorem's stated bound plus a binomial margin.
+//!
+//! ## Trial counts: smoke vs full
+//!
+//! Every experiment takes its trial count from [`trials`], which reads
+//! the [`TRIALS_ENV`] environment variable:
+//!
+//! * unset (the default, and what CI's `conformance-smoke` job uses) —
+//!   the *smoke* count, sized so the whole suite finishes in well under
+//!   two minutes on one core;
+//! * `full` — the *full* count, for a local high-confidence run:
+//!   `SAMPLEHIST_CONFORMANCE_TRIALS=full cargo test -p samplehist-conformance`;
+//! * a number — that exact count, for experimentation.
+//!
+//! Seeds are fixed per trial index, so a given trial count is perfectly
+//! reproducible: the suite either always passes or always fails for a
+//! given build.
+//!
+//! ## The margins
+//!
+//! A theorem of the form "the bad event has probability ≤ γ" is checked
+//! by counting bad trials and requiring the count to stay below
+//! [`binomial_allowance`] — the mean `T·γ` of a Binomial(`T`, γ) plus
+//! [`Z_CONFORMANCE`] standard deviations. A claim of the form "this
+//! proportion equals p" (e.g. Theorem 8's miss probability) is checked
+//! with [`proportion_margin`], a z-interval around `p` widened by a
+//! `1/T` continuity term. At `z = 3` a *correct* implementation flips a
+//! conformance test with probability ≈ 0.1% per check even at smoke
+//! counts; a wrong coverage rate shows up as a deterministic failure at
+//! full counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+/// Environment variable selecting the trial count: unset → smoke,
+/// `full` → full, a number → that many trials.
+pub const TRIALS_ENV: &str = "SAMPLEHIST_CONFORMANCE_TRIALS";
+
+/// The z-score used for every conformance margin: generous enough that
+/// a correct implementation passes with overwhelming probability, tight
+/// enough that a broken coverage rate (say, realized failure probability
+/// 2γ instead of γ) is caught at full trial counts.
+pub const Z_CONFORMANCE: f64 = 3.0;
+
+/// Resolve the trial count for one experiment from [`TRIALS_ENV`].
+///
+/// `smoke` is used when the variable is unset or unparsable, `full` when
+/// it is the literal string `full`; any positive integer overrides both.
+pub fn trials(smoke: usize, full: usize) -> usize {
+    resolve_trials(std::env::var(TRIALS_ENV).ok().as_deref(), smoke, full)
+}
+
+/// [`trials`] with the environment lookup factored out, for testability.
+pub fn resolve_trials(setting: Option<&str>, smoke: usize, full: usize) -> usize {
+    match setting.map(str::trim) {
+        Some("full") => full,
+        Some(s) => match s.parse::<usize>() {
+            Ok(t) if t > 0 => t,
+            _ => smoke,
+        },
+        None => smoke,
+    }
+}
+
+/// Largest failure count consistent (at `z` standard deviations) with a
+/// per-trial failure probability of `p`: `⌈T·p + z·√(T·p·(1−p))⌉`.
+///
+/// Used to check one-sided bounds: a theorem promising "failure
+/// probability ≤ p" conforms as long as the observed failure count does
+/// not exceed this allowance.
+///
+/// # Panics
+/// If `p ∉ (0, 1)` or `z ≤ 0`.
+pub fn binomial_allowance(trials: usize, p: f64, z: f64) -> usize {
+    assert!(p > 0.0 && p < 1.0, "failure probability must be in (0,1), got {p}");
+    assert!(z > 0.0, "z must be positive");
+    let t = trials as f64;
+    (t * p + z * (t * p * (1.0 - p)).sqrt()).ceil() as usize
+}
+
+/// Two-sided margin for an observed proportion around its predicted
+/// value `p`: `z·√(p(1−p)/T) + 1/T` (the `1/T` is a continuity
+/// correction so one trial of slack is always granted).
+///
+/// # Panics
+/// If `p ∉ [0, 1]`, `z ≤ 0`, or `trials == 0`.
+pub fn proportion_margin(trials: usize, p: f64, z: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "proportion must be in [0,1], got {p}");
+    assert!(z > 0.0, "z must be positive");
+    assert!(trials > 0, "need at least one trial");
+    let t = trials as f64;
+    z * (p * (1.0 - p) / t).sqrt() + 1.0 / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_count_resolution() {
+        assert_eq!(resolve_trials(None, 10, 500), 10);
+        assert_eq!(resolve_trials(Some("full"), 10, 500), 500);
+        assert_eq!(resolve_trials(Some(" full "), 10, 500), 500);
+        assert_eq!(resolve_trials(Some("37"), 10, 500), 37);
+        // Garbage and zero fall back to smoke rather than exploding.
+        assert_eq!(resolve_trials(Some("many"), 10, 500), 10);
+        assert_eq!(resolve_trials(Some("0"), 10, 500), 10);
+    }
+
+    #[test]
+    fn allowance_tracks_mean_plus_z_sigma() {
+        // T=100, p=0.1: mean 10, σ = 3 ⇒ allowance ⌈10 + 9⌉ = 19.
+        assert_eq!(binomial_allowance(100, 0.1, 3.0), 19);
+        // The allowance always admits at least the mean.
+        for &t in &[10usize, 50, 1000] {
+            assert!(binomial_allowance(t, 0.05, 3.0) as f64 >= t as f64 * 0.05);
+        }
+        // More trials ⇒ tighter *relative* allowance (law of large numbers).
+        let loose = binomial_allowance(20, 0.1, 3.0) as f64 / 20.0;
+        let tight = binomial_allowance(2000, 0.1, 3.0) as f64 / 2000.0;
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn proportion_margin_shrinks_with_trials() {
+        let wide = proportion_margin(25, 0.2, 3.0);
+        let narrow = proportion_margin(2500, 0.2, 3.0);
+        assert!(narrow < wide);
+        assert!(narrow < 0.03, "margin at 2500 trials is {narrow}");
+        // Degenerate proportions keep only the continuity term.
+        assert!((proportion_margin(50, 0.0, 3.0) - 0.02).abs() < 1e-12);
+    }
+}

@@ -18,6 +18,77 @@ use crate::estimate::RangeEstimator;
 /// Value arrays shorter than this verify heavy candidates serially.
 const PAR_COUNT_MIN: usize = 1 << 16;
 
+/// Probe size for [`CompressedRoute::Auto`]'s shape detection.
+const ROUTE_PROBE: usize = 1024;
+
+/// [`CompressedRoute::Auto`] falls back to the sorted builder when at
+/// least this fraction of the probe belongs to heavy values.
+const ROUTE_HEAVY_MASS: f64 = 0.5;
+
+/// Which construction strategy the unsorted compressed builders use.
+///
+/// Both routes are **byte-identical** (property-tested); the choice is
+/// purely about speed. The sort-free route (rank probing + sort-free
+/// equi-height residual) wins on light-tailed shapes where the residual
+/// is most of the column; when heavy values dominate, its probing and
+/// filtering passes are overhead spent on tuples that end up in the
+/// side table anyway, and the bench numbers favor plain sort +
+/// [`CompressedHistogram::from_sorted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressedRoute {
+    /// Probe the shape and pick a concrete route (the default).
+    Auto,
+    /// Rank probing + exact counting + sort-free equi-height residual.
+    SortFree,
+    /// Sort a copy of the input and run the sorted builder.
+    Sorted,
+}
+
+impl CompressedRoute {
+    /// Resolve `Auto` to a concrete route for this input: sample a
+    /// strided probe of ≤ [`ROUTE_PROBE`] values, sort it, and measure
+    /// the fraction of probe mass in values heavier than `m/k` — the
+    /// probe-scaled image of the builder's own `n/k` threshold. Heavy
+    /// mass ≥ [`ROUTE_HEAVY_MASS`] routes to [`CompressedRoute::Sorted`].
+    ///
+    /// Deterministic: the probe is strided, not sampled, so the same
+    /// input always takes the same route.
+    pub fn resolve(self, values: &[i64], k: usize) -> CompressedRoute {
+        match self {
+            CompressedRoute::Auto => {
+                if heavy_probe_mass(values, k) >= ROUTE_HEAVY_MASS {
+                    CompressedRoute::Sorted
+                } else {
+                    CompressedRoute::SortFree
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
+/// Estimated fraction of the column carried by heavy values, measured on
+/// a sorted strided probe (see [`CompressedRoute::resolve`]).
+fn heavy_probe_mass(values: &[i64], k: usize) -> f64 {
+    let stride = (values.len() / ROUTE_PROBE).max(1);
+    let mut probe: Vec<i64> = values.iter().copied().step_by(stride).collect();
+    probe.sort_unstable();
+    let m = probe.len();
+    let threshold = m as f64 / k as f64;
+    let mut heavy = 0usize;
+    let mut i = 0usize;
+    while i < m {
+        let start = i;
+        while i < m && probe[i] == probe[start] {
+            i += 1;
+        }
+        if (i - start) as f64 > threshold {
+            heavy += i - start;
+        }
+    }
+    heavy as f64 / m as f64
+}
+
 /// A compressed k-histogram: exact singleton buckets for values with
 /// multiplicity > `n/k`, an equi-height histogram over everything else.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,16 +214,19 @@ impl CompressedHistogram {
         Self { high_freq: runs, residual, total: population_total }
     }
 
-    /// Build from **unsorted** data with a budget of `k` buckets total,
-    /// without ever sorting the column — byte-identical to
-    /// [`Self::from_sorted`] of the sorted data (property-tested).
+    /// Build from **unsorted** data with a budget of `k` buckets total —
+    /// byte-identical to [`Self::from_sorted`] of the sorted data
+    /// (property-tested), routed by shape ([`CompressedRoute::Auto`]).
     ///
-    /// The heavy values are found by **rank probing** (see
-    /// [`find_heavy_values`]) and verified with one exact counting pass;
-    /// the residual multiset is filtered unsorted and handed to
-    /// [`EquiHeightHistogram::from_unsorted_threads`], which resolves its
-    /// separator ranks through the selection/radix resolver. Total cost:
-    /// ~5 linear passes, no `O(n log n)` anywhere.
+    /// On light-tailed shapes the heavy values are found by **rank
+    /// probing** (see [`find_heavy_values`]) and verified with one exact
+    /// counting pass; the residual multiset is filtered unsorted and
+    /// handed to [`EquiHeightHistogram::from_unsorted_threads`], which
+    /// resolves its separator ranks through the selection/radix resolver.
+    /// Total cost: ~5 linear passes, no `O(n log n)` anywhere. When a
+    /// shape probe shows heavy values dominating the column, the builder
+    /// falls back to sort + [`Self::from_sorted`] instead (see
+    /// [`CompressedRoute`]).
     ///
     /// # Panics
     /// If `values` is empty or `k == 0`.
@@ -163,8 +237,25 @@ impl CompressedHistogram {
     /// [`Self::from_unsorted`] with an explicit thread count (results are
     /// bit-identical at any thread count).
     pub fn from_unsorted_threads(threads: usize, values: &[i64], k: usize) -> Self {
+        Self::from_unsorted_with_route_threads(threads, values, k, CompressedRoute::Auto)
+    }
+
+    /// [`Self::from_unsorted`] with an explicit [`CompressedRoute`]. Every
+    /// route yields byte-identical output; `Auto` picks by shape probing.
+    pub fn from_unsorted_with_route_threads(
+        threads: usize,
+        values: &[i64],
+        k: usize,
+        route: CompressedRoute,
+    ) -> Self {
         assert!(k > 0, "a histogram needs at least one bucket");
         assert!(!values.is_empty(), "cannot build a histogram of an empty value set");
+        if route.resolve(values, k) == CompressedRoute::Sorted {
+            samplehist_obs::global().counter("histogram.compressed.route.sorted", 1);
+            let mut sorted = values.to_vec();
+            sorted.sort_unstable();
+            return Self::from_sorted(&sorted, k);
+        }
         samplehist_obs::global().counter("histogram.compressed.sortfree", 1);
 
         let n = values.len() as u64;
@@ -200,6 +291,23 @@ impl CompressedHistogram {
         k: usize,
         population_total: u64,
     ) -> Self {
+        Self::from_unsorted_sample_with_route_threads(
+            threads,
+            sample,
+            k,
+            population_total,
+            CompressedRoute::Auto,
+        )
+    }
+
+    /// [`Self::from_unsorted_sample`] with an explicit [`CompressedRoute`].
+    pub fn from_unsorted_sample_with_route_threads(
+        threads: usize,
+        sample: &[i64],
+        k: usize,
+        population_total: u64,
+        route: CompressedRoute,
+    ) -> Self {
         assert!(k > 0, "a histogram needs at least one bucket");
         assert!(!sample.is_empty(), "cannot build a histogram from an empty sample");
         assert!(
@@ -207,6 +315,12 @@ impl CompressedHistogram {
             "population ({population_total}) smaller than sample ({})",
             sample.len()
         );
+        if route.resolve(sample, k) == CompressedRoute::Sorted {
+            samplehist_obs::global().counter("histogram.compressed.route.sorted", 1);
+            let mut sorted = sample.to_vec();
+            sorted.sort_unstable();
+            return Self::from_sorted_sample(&sorted, k, population_total);
+        }
         samplehist_obs::global().counter("histogram.compressed.sortfree", 1);
 
         let r = sample.len() as u64;
@@ -497,12 +611,19 @@ mod tests {
 
     #[test]
     fn sortfree_matches_sorted_path() {
+        // Explicit SortFree route: skewed_data's heavy mass (0.8) would
+        // otherwise auto-route to the sorted builder and test nothing.
         let data = skewed_data();
         let shuffled = strided(&data);
         for k in [1usize, 2, 3, 10, 40] {
             let reference = CompressedHistogram::from_sorted(&data, k);
             for threads in [1usize, 4] {
-                let got = CompressedHistogram::from_unsorted_threads(threads, &shuffled, k);
+                let got = CompressedHistogram::from_unsorted_with_route_threads(
+                    threads,
+                    &shuffled,
+                    k,
+                    CompressedRoute::SortFree,
+                );
                 assert_eq!(got, reference, "k={k} threads={threads}");
             }
         }
@@ -515,8 +636,13 @@ mod tests {
         for (k, pop) in [(10usize, 5_000u64), (4, 1_000), (1, 999_999)] {
             let reference = CompressedHistogram::from_sorted_sample(&data, k, pop);
             for threads in [1usize, 4] {
-                let got =
-                    CompressedHistogram::from_unsorted_sample_threads(threads, &shuffled, k, pop);
+                let got = CompressedHistogram::from_unsorted_sample_with_route_threads(
+                    threads,
+                    &shuffled,
+                    k,
+                    pop,
+                    CompressedRoute::SortFree,
+                );
                 assert_eq!(got, reference, "k={k} pop={pop} threads={threads}");
             }
         }
@@ -524,9 +650,15 @@ mod tests {
 
     #[test]
     fn sortfree_all_one_value_and_no_heavy_edges() {
-        // Every tuple heavy: empty residual.
+        // Every tuple heavy: empty residual. (Explicit SortFree — auto
+        // would route this fully-dominated input to the sorted builder.)
         let data = vec![5i64; 100];
-        let h = CompressedHistogram::from_unsorted(&data, 4);
+        let h = CompressedHistogram::from_unsorted_with_route_threads(
+            1,
+            &data,
+            4,
+            CompressedRoute::SortFree,
+        );
         assert_eq!(h, CompressedHistogram::from_sorted(&data, 4));
         assert!(h.residual().is_none());
 
@@ -542,6 +674,43 @@ mod tests {
         tiny_sorted.sort_unstable();
         let h = CompressedHistogram::from_unsorted(&tiny, 8);
         assert_eq!(h, CompressedHistogram::from_sorted(&tiny_sorted, 8));
+    }
+
+    #[test]
+    fn auto_route_resolves_by_heavy_mass() {
+        // 90% of the column is one value: sorted builder territory.
+        let mut dominated = vec![7i64; 9_000];
+        dominated.extend(0..1_000);
+        assert_eq!(CompressedRoute::Auto.resolve(&dominated, 10), CompressedRoute::Sorted);
+
+        // All-distinct column: no heavy mass at all, stays sort-free.
+        let distinct: Vec<i64> = (0..10_000).collect();
+        assert_eq!(CompressedRoute::Auto.resolve(&distinct, 10), CompressedRoute::SortFree);
+
+        // Explicit routes are never second-guessed.
+        assert_eq!(CompressedRoute::Sorted.resolve(&distinct, 10), CompressedRoute::Sorted);
+        assert_eq!(CompressedRoute::SortFree.resolve(&dominated, 10), CompressedRoute::SortFree);
+
+        // And both resolved routes build the same histogram.
+        let shuffled = strided(&{
+            let mut s = dominated.clone();
+            s.sort_unstable();
+            s
+        });
+        let sorted_route = CompressedHistogram::from_unsorted_with_route_threads(
+            1,
+            &shuffled,
+            10,
+            CompressedRoute::Sorted,
+        );
+        let sortfree_route = CompressedHistogram::from_unsorted_with_route_threads(
+            1,
+            &shuffled,
+            10,
+            CompressedRoute::SortFree,
+        );
+        assert_eq!(sorted_route, sortfree_route);
+        assert_eq!(sorted_route, CompressedHistogram::from_unsorted(&shuffled, 10));
     }
 
     #[test]

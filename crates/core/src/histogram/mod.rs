@@ -33,7 +33,7 @@ mod radix;
 pub mod selection;
 
 pub use builder::HistogramBuilder;
-pub use compressed::CompressedHistogram;
+pub use compressed::{CompressedHistogram, CompressedRoute};
 pub use equi_height::{BucketRef, ConstructionRoute, EquiHeightHistogram};
 pub use equi_width::EquiWidthHistogram;
 pub use maintained::MaintainedHistogram;

@@ -816,4 +816,116 @@ mod tests {
     fn empty_values_rejected() {
         let _ = resolve_ranks(&[], &[0]);
     }
+
+    /// A noisy multiset whose span is *exactly* `span`: both endpoints
+    /// are planted so min/max (and therefore the level's bit width) are
+    /// pinned, with the interior filled pseudo-randomly.
+    fn pinned_span(n: usize, min: i64, span: u64, seed: u64) -> Vec<i64> {
+        let mut values = noisy(n, span + 1, seed)
+            .into_iter()
+            .map(|v| min + (v + (span / 2) as i64))
+            .collect::<Vec<_>>();
+        values.push(min);
+        values.push(min + span as i64);
+        values
+    }
+
+    #[test]
+    fn spans_at_the_direct_exact_boundary_match_reference() {
+        // bits = DIRECT_EXACT_BITS exactly (largest direct-exact span),
+        // one below, and one above (the smallest span that takes the
+        // sliced radix path, shift = DIRECT_EXACT_BITS + 1 − RADIX_BITS).
+        let at = (1u64 << DIRECT_EXACT_BITS) - 1;
+        for (span, name) in [(at - 1, "below"), (at, "at"), (at + 1, "above")] {
+            let values = pinned_span(20_000, -37, span, 0xB0DA + span);
+            for k in [2usize, 33, 600] {
+                let ranks = spread_ranks(values.len(), k);
+                let got = resolve_ranks(&values, &ranks);
+                assert_eq!(got.entries, reference(&values, &ranks), "{name} boundary, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_input_matches_reference() {
+        for n in [1usize, 7, RECURSE_MIN * 2] {
+            let values = vec![-42i64; n];
+            let ranks = spread_ranks(n, 16);
+            let got = resolve_ranks(&values, &ranks);
+            assert_eq!(got.entries, reference(&values, &ranks), "n={n}");
+            assert_eq!((got.min, got.max), (-42, -42));
+        }
+    }
+
+    #[test]
+    fn more_buckets_than_values_matches_reference() {
+        // k > n: separator_ranks repeats ranks; every value is a
+        // separator (possibly several times over).
+        let values = noisy(9, 1 << 30, 0x99);
+        for k in [10usize, 64, 1000] {
+            let ranks = spread_ranks(values.len(), k);
+            assert!(ranks.len() >= values.len(), "k={k} must over-request");
+            let got = resolve_ranks(&values, &ranks);
+            assert_eq!(got.entries, reference(&values, &ranks), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_rank_set_still_reports_min_max() {
+        let values = noisy(1000, 1 << 24, 0xE);
+        let got = resolve_ranks(&values, &[]);
+        assert!(got.entries.is_empty());
+        assert_eq!(got.min, *values.iter().min().expect("non-empty"));
+        assert_eq!(got.max, *values.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn i64_extreme_singletons_and_full_span_match_reference() {
+        // All-equal at each extreme: the min == max early return must not
+        // offset anything.
+        for v in [i64::MIN, i64::MAX] {
+            let values = vec![v; 100];
+            let got = resolve_ranks(&values, &spread_ranks(100, 8));
+            assert_eq!(got.entries, reference(&values, &spread_ranks(100, 8)), "v={v}");
+        }
+        // Both extremes with heavy runs: span (as u64) is u64::MAX, the
+        // widest expressible level.
+        let mut values = vec![i64::MIN; 5_000];
+        values.extend(vec![i64::MAX; 5_000]);
+        values.extend(noisy(5_000, u64::MAX / 4, 0xFE));
+        let ranks = spread_ranks(values.len(), 77);
+        let got = resolve_ranks(&values, &ranks);
+        assert_eq!(got.entries, reference(&values, &ranks));
+        assert_eq!((got.min, got.max), (i64::MIN, i64::MAX));
+    }
+
+    /// The same edge cases through the histogram-level radix route: each
+    /// must be byte-identical to sort + `from_sorted`.
+    #[test]
+    fn edge_case_histograms_match_sort_route() {
+        use super::super::equi_height::{ConstructionRoute, EquiHeightHistogram};
+        let boundary_span = (1u64 << DIRECT_EXACT_BITS) - 1;
+        let cases: Vec<(&str, Vec<i64>)> = vec![
+            ("boundary span", pinned_span(10_000, -5, boundary_span, 0x10)),
+            ("just above boundary", pinned_span(10_000, -5, boundary_span + 1, 0x11)),
+            ("all equal", vec![13i64; 4_096]),
+            ("k > n", noisy(5, 1 << 20, 0x12)),
+            ("extremes", vec![i64::MIN, i64::MAX, 0, i64::MIN, i64::MAX]),
+        ];
+        for (name, data) in cases {
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            for k in [1usize, 3, 40] {
+                let expect = EquiHeightHistogram::from_sorted(&sorted, k);
+                let mut work = data.clone();
+                let got = EquiHeightHistogram::from_unsorted_with_route_threads(
+                    1,
+                    &mut work,
+                    k,
+                    ConstructionRoute::Radix,
+                );
+                assert_eq!(got, expect, "{name}, k={k}");
+            }
+        }
+    }
 }

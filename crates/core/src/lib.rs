@@ -90,4 +90,4 @@ pub mod math;
 pub mod sampling;
 
 pub use histogram::EquiHeightHistogram;
-pub use sampling::BlockSource;
+pub use sampling::{BlockSource, TryBlockSource};

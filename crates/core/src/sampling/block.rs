@@ -34,6 +34,24 @@ pub trait BlockSource {
     }
 }
 
+impl<S: BlockSource + ?Sized> BlockSource for &S {
+    fn num_blocks(&self) -> usize {
+        (**self).num_blocks()
+    }
+
+    fn num_tuples(&self) -> u64 {
+        (**self).num_tuples()
+    }
+
+    fn block(&self, index: usize) -> &[i64] {
+        (**self).block(index)
+    }
+
+    fn avg_tuples_per_block(&self) -> f64 {
+        (**self).avg_tuples_per_block()
+    }
+}
+
 /// View a contiguous slice as fixed-size blocks (the last may be short).
 #[derive(Debug, Clone, Copy)]
 pub struct SliceBlocks<'a> {
@@ -111,8 +129,15 @@ pub struct BlockPermutation {
 impl BlockPermutation {
     /// Shuffle all block indices of `source`.
     pub fn new(source: &impl BlockSource, rng: &mut impl Rng) -> Self {
+        Self::with_len(source.num_blocks(), rng)
+    }
+
+    /// Shuffle the block indices `0..num_blocks` — for sources that only
+    /// expose their geometry (e.g. fallible sources whose reads are
+    /// deferred until each block is actually needed).
+    pub fn with_len(num_blocks: usize, rng: &mut impl Rng) -> Self {
         use rand::seq::SliceRandom;
-        let mut order: Vec<usize> = (0..source.num_blocks()).collect();
+        let mut order: Vec<usize> = (0..num_blocks).collect();
         order.shuffle(rng);
         Self { order, cursor: 0 }
     }

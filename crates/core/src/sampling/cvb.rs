@@ -43,6 +43,7 @@ use rand::Rng;
 use samplehist_obs::Recorder;
 
 use super::block::{BlockPermutation, BlockSource};
+use super::fallible::{BlockError, TryBlockSource};
 use super::schedule::{Schedule, ScheduleContext};
 use crate::bounds::chaudhuri::corollary1_sample_size;
 use crate::error::fractional_max_error;
@@ -367,6 +368,335 @@ pub fn run_traced(
     result
 }
 
+/// How much loss the degradation-aware [`try_run`] may absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Replacement blocks that may be drawn beyond the schedule, across the
+    /// whole run, to cover failed reads. Each failed block spends one unit;
+    /// when the budget runs out, rounds simply shrink (and the
+    /// cross-validation threshold widens per Theorem 7).
+    pub replacement_budget: usize,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self { replacement_budget: 64 }
+    }
+}
+
+/// What a degradation-aware run lost and what it can still certify.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationReport {
+    /// Blocks whose reads failed for good (after the storage layer's own
+    /// retries) and therefore contributed no tuples.
+    pub blocks_failed: usize,
+    /// Extra blocks drawn from the permutation to replace failed ones.
+    pub replacements_drawn: usize,
+    /// The cross-validation threshold actually enforced. Equal to the
+    /// configured `target_f` on a clean run; wider when rounds shrank below
+    /// plan — Theorem 7's validation size scales as `1/f²`, so a round that
+    /// kept only `s_actual` of its planned `s_planned` validation tuples
+    /// can certify only `f · √(s_planned / s_actual)`.
+    pub effective_target_f: f64,
+    /// Whether any data was lost (`blocks_failed > 0`).
+    pub degraded: bool,
+    /// The last block error observed, for diagnostics.
+    pub last_error: Option<BlockError>,
+}
+
+impl DegradationReport {
+    fn clean(target_f: f64) -> Self {
+        Self {
+            blocks_failed: 0,
+            replacements_drawn: 0,
+            effective_target_f: target_f,
+            degraded: false,
+            last_error: None,
+        }
+    }
+}
+
+/// Why a degradation-aware CVB run could not produce a histogram at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CvbError {
+    /// Every block the permutation offered failed to read: there is not a
+    /// single trustworthy tuple to build from.
+    SourceUnreadable {
+        /// How many blocks were attempted before giving up.
+        blocks_tried: usize,
+        /// The last error observed.
+        last_error: Option<BlockError>,
+    },
+}
+
+impl std::fmt::Display for CvbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CvbError::SourceUnreadable { blocks_tried, last_error } => {
+                write!(f, "no readable blocks after {blocks_tried} attempts")?;
+                if let Some(err) = last_error {
+                    write!(f, " (last error: {err})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CvbError {}
+
+/// Degradation-aware [`run`]: the same adaptive loop over a source whose
+/// reads can fail.
+///
+/// Failed blocks are skipped and replaced by drawing further down the
+/// permutation (up to `policy.replacement_budget` across the run); once
+/// replacements run out, rounds shrink and the acceptance threshold widens
+/// per Theorem 7 (see [`DegradationReport::effective_target_f`]). On a
+/// fault-free source the result is **bit-identical** to [`run`] with the
+/// same RNG seed.
+///
+/// Returns an error only when not a single block could be read.
+pub fn try_run(
+    source: &impl TryBlockSource,
+    config: &CvbConfig,
+    policy: &DegradationPolicy,
+    rng: &mut impl Rng,
+) -> Result<(CvbResult, DegradationReport), CvbError> {
+    try_run_traced(source, config, policy, rng, &samplehist_obs::global())
+}
+
+/// [`try_run`] with an explicit [`Recorder`]: emits the same `cvb.run` /
+/// `cvb.round` spans as [`run_traced`] plus the degradation record — a
+/// `cvb.blocks_failed` counter per lost block, per-round `failed` /
+/// `replaced` / `effective_f` fields, and run-level `blocks_failed` /
+/// `degraded` fields — so traces show exactly what was lost.
+pub fn try_run_traced(
+    source: &impl TryBlockSource,
+    config: &CvbConfig,
+    policy: &DegradationPolicy,
+    rng: &mut impl Rng,
+    recorder: &Recorder,
+) -> Result<(CvbResult, DegradationReport), CvbError> {
+    config.validate();
+    assert!(source.num_blocks() > 0, "cannot sample an empty source");
+    let n = source.num_tuples();
+    assert!(n > 0, "cannot sample a source with no tuples");
+
+    let max_blocks =
+        ((source.num_blocks() as f64 * config.max_block_fraction).ceil() as usize).max(1);
+    let b = source.avg_tuples_per_block();
+
+    let mut run_span = recorder.span("cvb.run");
+    run_span.field("n", n);
+    run_span.field("blocks", source.num_blocks());
+    run_span.field("buckets", config.buckets);
+    run_span.field("target_f", config.target_f);
+    run_span.field("max_blocks", max_blocks);
+
+    let mut permutation = BlockPermutation::with_len(source.num_blocks(), rng);
+    let mut accumulated: Vec<i64> = Vec::new();
+    let mut rounds: Vec<CvbRound> = Vec::new();
+    let mut histogram: Option<EquiHeightHistogram> = None;
+    let mut converged = false;
+    let mut scratch = Scratch::default();
+    // Byte ranges of each successful block within the (unsorted) fresh
+    // buffer, in draw order — what one-tuple-per-block validation picks
+    // from now that failed blocks make "re-read the page" unreliable.
+    let mut fresh_spans: Vec<(usize, usize)> = Vec::new();
+
+    let mut report = DegradationReport::clean(config.target_f);
+    let mut widest_f = config.target_f;
+
+    let mut round = 0usize;
+    while permutation.drawn() < max_blocks {
+        round += 1;
+        let ctx = ScheduleContext {
+            round,
+            blocks_so_far: permutation.drawn(),
+            tuples_so_far: accumulated.len() as u64,
+            total_tuples: n,
+            tuples_per_block: b,
+        };
+        let want = config.schedule.next_blocks(&ctx).min(max_blocks - permutation.drawn());
+        scratch.fresh_ids.clear();
+        scratch.fresh_ids.extend_from_slice(permutation.take(want));
+        if scratch.fresh_ids.is_empty() {
+            break;
+        }
+        let planned_blocks = scratch.fresh_ids.len();
+        let mut round_span = run_span.child("cvb.round");
+
+        // Collect this round's tuples, replacing failed blocks from the
+        // tail of the permutation while the budget lasts.
+        scratch.fresh.clear();
+        scratch.fresh.reserve((b * planned_blocks as f64) as usize);
+        fresh_spans.clear();
+        let mut failed_this_round = 0usize;
+        let mut replaced_this_round = 0usize;
+        let mut i = 0;
+        while i < scratch.fresh_ids.len() {
+            let id = scratch.fresh_ids[i];
+            i += 1;
+            match source.try_block(id) {
+                Ok(tuples) => {
+                    let start = scratch.fresh.len();
+                    scratch.fresh.extend_from_slice(&tuples);
+                    fresh_spans.push((start, tuples.len()));
+                }
+                Err(err) => {
+                    failed_this_round += 1;
+                    report.blocks_failed += 1;
+                    report.last_error = Some(err);
+                    recorder.counter("cvb.blocks_failed", 1);
+                    if report.replacements_drawn < policy.replacement_budget
+                        && permutation.drawn() < max_blocks
+                    {
+                        let extra = permutation.take(1);
+                        if let Some(&replacement) = extra.first() {
+                            report.replacements_drawn += 1;
+                            replaced_this_round += 1;
+                            scratch.fresh_ids.push(replacement);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Theorem 7 sizes the validation sample as s ∝ 1/f²: a round that
+        // kept fewer blocks than planned can only certify a wider f.
+        let kept_blocks = fresh_spans.len();
+        let effective_f = if kept_blocks < planned_blocks && kept_blocks > 0 {
+            (config.target_f * (planned_blocks as f64 / kept_blocks as f64).sqrt()).min(1.0)
+        } else {
+            config.target_f
+        };
+        widest_f = widest_f.max(effective_f);
+
+        if scratch.fresh.is_empty() {
+            // Every block of this round was lost; nothing to validate or
+            // merge, but the attempt still counts against the block cap.
+            rounds.push(CvbRound {
+                round,
+                new_blocks: 0,
+                total_blocks: permutation.drawn(),
+                total_tuples: accumulated.len() as u64,
+                cross_validation_error: None,
+            });
+            round_span.field("round", round);
+            round_span.field("new_blocks", 0usize);
+            round_span.field("failed", failed_this_round);
+            round_span.field("verdict", "lost");
+            round_span.finish();
+            continue;
+        }
+
+        // Cross-validate before sorting: one-tuple-per-block picks need the
+        // per-block layout of the fresh buffer.
+        let cv_error = histogram.as_ref().map(|h| {
+            let validation: &[i64] = match config.validation {
+                ValidationMode::AllTuples => {
+                    scratch.fresh.sort_unstable();
+                    &scratch.fresh
+                }
+                ValidationMode::OneTuplePerBlock => {
+                    scratch.validation.clear();
+                    scratch.validation.extend(
+                        fresh_spans
+                            .iter()
+                            .map(|&(start, len)| scratch.fresh[start + rng.gen_range(0..len)]),
+                    );
+                    scratch.validation.sort_unstable();
+                    scratch.fresh.sort_unstable();
+                    &scratch.validation
+                }
+            };
+            fractional_max_error(h.separators(), &accumulated, validation).max
+        });
+        if cv_error.is_none() {
+            scratch.fresh.sort_unstable();
+        }
+
+        merge_sorted_into(&accumulated, &scratch.fresh, &mut scratch.merged);
+        std::mem::swap(&mut accumulated, &mut scratch.merged);
+        histogram = Some(EquiHeightHistogram::from_sorted_sample(&accumulated, config.buckets, n));
+
+        rounds.push(CvbRound {
+            round,
+            new_blocks: kept_blocks,
+            total_blocks: permutation.drawn(),
+            total_tuples: accumulated.len() as u64,
+            cross_validation_error: cv_error,
+        });
+
+        let accepted = cv_error.is_some_and(|err| err < effective_f);
+        round_span.field("round", round);
+        round_span.field("new_blocks", kept_blocks);
+        round_span.field("total_blocks", permutation.drawn());
+        round_span.field("r", accumulated.len());
+        round_span.field("target_f", config.target_f);
+        if failed_this_round > 0 {
+            round_span.field("failed", failed_this_round);
+            round_span.field("replaced", replaced_this_round);
+            round_span.field("effective_f", effective_f);
+        }
+        match cv_error {
+            None => round_span.field("verdict", "bootstrap"),
+            Some(err) => {
+                round_span.field("delta_hat", err);
+                round_span.field("verdict", if accepted { "accept" } else { "reject" });
+            }
+        }
+        round_span.finish();
+        if accepted {
+            converged = true;
+            report.effective_target_f = effective_f;
+            break;
+        }
+    }
+
+    report.degraded = report.blocks_failed > 0;
+    if !converged {
+        report.effective_target_f = widest_f;
+    }
+
+    if accumulated.is_empty() {
+        run_span.field("blocks_failed", report.blocks_failed);
+        run_span.field("verdict", "unreadable");
+        run_span.finish();
+        return Err(CvbError::SourceUnreadable {
+            blocks_tried: permutation.drawn(),
+            last_error: report.last_error,
+        });
+    }
+
+    let exhausted = permutation.remaining() == 0;
+    let histogram = histogram.expect("accumulated sample is non-empty");
+    let result = CvbResult {
+        histogram,
+        converged,
+        exhausted,
+        rounds_executed: rounds.len(),
+        terminated_early: converged && permutation.drawn() < max_blocks,
+        blocks_sampled: permutation.drawn(),
+        tuples_sampled: accumulated.len() as u64,
+        rounds,
+        sample_sorted: accumulated,
+    };
+    run_span.field("rounds", result.rounds_executed);
+    run_span.field("converged", result.converged);
+    run_span.field("exhausted", result.exhausted);
+    run_span.field("terminated_early", result.terminated_early);
+    run_span.field("blocks_sampled", result.blocks_sampled);
+    run_span.field("tuples_sampled", result.tuples_sampled);
+    run_span.field("oversampling_factor", result.oversampling_factor(config, n));
+    run_span.field("blocks_failed", report.blocks_failed);
+    run_span.field("replacements_drawn", report.replacements_drawn);
+    run_span.field("degraded", report.degraded);
+    run_span.field("effective_f", report.effective_target_f);
+    run_span.finish();
+    Ok((result, report))
+}
+
 /// Reusable per-round buffers for the adaptive loop. Without these, every
 /// round of [`run`] allocated four vectors (the drawn block ids, the fresh
 /// tuple batch, the one-tuple-per-block validation set, and the merged
@@ -620,5 +950,174 @@ mod tests {
         let config = CvbConfig::prototype(10, 0.1, 0.05);
         let mut rng = StdRng::seed_from_u64(53);
         let _ = run(&src, &config, &mut rng);
+    }
+
+    // ---- degradation-aware path -------------------------------------
+
+    use super::super::fallible::Reliable;
+    use std::borrow::Cow;
+
+    /// A block source that permanently fails every block whose index
+    /// satisfies a predicate — the simplest deterministic fault model.
+    struct Failing<'a> {
+        inner: SliceBlocks<'a>,
+        fails: fn(usize) -> bool,
+    }
+
+    impl TryBlockSource for Failing<'_> {
+        fn num_blocks(&self) -> usize {
+            self.inner.num_blocks()
+        }
+        fn num_tuples(&self) -> u64 {
+            self.inner.num_tuples()
+        }
+        fn try_block(&self, index: usize) -> Result<Cow<'_, [i64]>, BlockError> {
+            if (self.fails)(index) {
+                Err(BlockError::Unreadable { block: index })
+            } else {
+                Ok(Cow::Borrowed(self.inner.block(index)))
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_try_run_is_bit_identical_to_run() {
+        let data = shuffled(60_000, 61);
+        let src = SliceBlocks::new(&data, 100);
+        for validation in [ValidationMode::AllTuples, ValidationMode::OneTuplePerBlock] {
+            let config = CvbConfig {
+                buckets: 20,
+                target_f: 0.2,
+                gamma: 0.05,
+                schedule: Schedule::Doubling { initial_blocks: 30 },
+                validation,
+                max_block_fraction: 1.0,
+            };
+            let baseline = run(&src, &config, &mut StdRng::seed_from_u64(67));
+            let (resilient, report) = try_run(
+                &Reliable(src),
+                &config,
+                &DegradationPolicy::default(),
+                &mut StdRng::seed_from_u64(67),
+            )
+            .expect("fault-free source is readable");
+            assert_eq!(resilient.histogram, baseline.histogram);
+            assert_eq!(resilient.sample_sorted, baseline.sample_sorted);
+            assert_eq!(resilient.rounds, baseline.rounds);
+            assert_eq!(resilient.converged, baseline.converged);
+            assert_eq!(resilient.blocks_sampled, baseline.blocks_sampled);
+            assert!(!report.degraded);
+            assert_eq!(report.blocks_failed, 0);
+            assert_eq!(report.effective_target_f, config.target_f);
+        }
+    }
+
+    #[test]
+    fn failed_blocks_are_replaced_and_reported() {
+        let data = shuffled(50_000, 71);
+        let src = Failing { inner: SliceBlocks::new(&data, 100), fails: |id| id % 5 == 2 };
+        let config = CvbConfig {
+            buckets: 20,
+            target_f: 0.25,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 40 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(73);
+        let (result, report) =
+            try_run(&src, &config, &DegradationPolicy { replacement_budget: 1000 }, &mut rng)
+                .expect("80% of blocks are readable");
+        assert!(report.degraded);
+        assert!(report.blocks_failed > 0);
+        assert!(report.replacements_drawn > 0, "budget was available");
+        assert!(matches!(report.last_error, Some(BlockError::Unreadable { .. })));
+        assert!(result.converged || result.exhausted);
+        assert_eq!(result.histogram.total(), 50_000, "still scaled to the full relation");
+        // With every failure replaced, no round shrank: no widening.
+        assert_eq!(report.effective_target_f, config.target_f);
+    }
+
+    #[test]
+    fn exhausted_budget_widens_the_threshold() {
+        let data = shuffled(50_000, 79);
+        let src = Failing { inner: SliceBlocks::new(&data, 100), fails: |id| id % 2 == 0 };
+        let config = CvbConfig {
+            buckets: 20,
+            target_f: 0.2,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 40 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(83);
+        let (result, report) =
+            try_run(&src, &config, &DegradationPolicy { replacement_budget: 0 }, &mut rng)
+                .expect("half the blocks are readable");
+        assert!(report.degraded);
+        assert_eq!(report.replacements_drawn, 0);
+        assert!(
+            report.effective_target_f > config.target_f,
+            "shrunk rounds must widen the certified f (got {})",
+            report.effective_target_f
+        );
+        assert!(report.effective_target_f <= 1.0);
+        assert!(result.tuples_sampled > 0);
+    }
+
+    #[test]
+    fn unreadable_source_is_a_structured_error() {
+        let data = shuffled(1_000, 89);
+        let src = Failing { inner: SliceBlocks::new(&data, 100), fails: |_| true };
+        let config = CvbConfig {
+            buckets: 10,
+            target_f: 0.2,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 4 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(97);
+        let err = try_run(&src, &config, &DegradationPolicy::default(), &mut rng)
+            .expect_err("nothing is readable");
+        let CvbError::SourceUnreadable { blocks_tried, last_error } = err;
+        assert!(blocks_tried > 0);
+        assert!(last_error.is_some());
+        assert!(err.to_string().contains("no readable blocks"));
+    }
+
+    #[test]
+    fn try_run_emits_failure_counters() {
+        use samplehist_obs::{MemorySink, Recorder};
+        use std::sync::Arc;
+        let data = shuffled(20_000, 101);
+        let src = Failing { inner: SliceBlocks::new(&data, 100), fails: |id| id % 4 == 1 };
+        let config = CvbConfig {
+            buckets: 10,
+            target_f: 0.3,
+            gamma: 0.05,
+            schedule: Schedule::Doubling { initial_blocks: 20 },
+            validation: ValidationMode::AllTuples,
+            max_block_fraction: 1.0,
+        };
+        let sink = Arc::new(MemorySink::new());
+        let recorder = Recorder::new(sink.clone());
+        let mut rng = StdRng::seed_from_u64(103);
+        let (_, report) =
+            try_run_traced(&src, &config, &DegradationPolicy::default(), &mut rng, &recorder)
+                .expect("mostly readable");
+        recorder.flush();
+        let failed: u64 = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                samplehist_obs::Event::Counter { name: "cvb.blocks_failed", delta, .. } => {
+                    Some(*delta)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(failed as usize, report.blocks_failed);
+        assert!(failed > 0);
     }
 }

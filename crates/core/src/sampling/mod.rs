@@ -23,13 +23,17 @@
 pub mod block;
 pub mod cvb;
 pub mod double;
+pub mod fallible;
 pub mod record;
 pub mod reservoir;
 pub mod schedule;
 
 pub use block::{sample_blocks, BlockPermutation, BlockSample, BlockSource, SliceBlocks};
-pub use cvb::{CvbConfig, CvbResult, CvbRound, ValidationMode};
+pub use cvb::{
+    CvbConfig, CvbError, CvbResult, CvbRound, DegradationPolicy, DegradationReport, ValidationMode,
+};
 pub use double::{DoubleSamplingConfig, DoubleSamplingResult};
+pub use fallible::{BlockError, Reliable, TryBlockSource};
 pub use record::{with_replacement, without_replacement};
 pub use reservoir::Reservoir;
 pub use schedule::{Schedule, ScheduleContext};

@@ -12,7 +12,7 @@ use samplehist_core::estimate::{
     duplication_density, duplication_density_from_profile, RangeEstimator,
 };
 use samplehist_core::histogram::{
-    selection, CompressedHistogram, ConstructionRoute, EquiHeightHistogram,
+    selection, CompressedHistogram, CompressedRoute, ConstructionRoute, EquiHeightHistogram,
 };
 use samplehist_core::math::{hypergeometric_pmf, ln_binomial};
 use samplehist_core::sampling::{Reservoir, Schedule, ScheduleContext};
@@ -321,6 +321,8 @@ proptest! {
     /// The sort-free compressed histogram (rank probing + exact counting,
     /// no global order ever established) equals the sort-based one on
     /// heavy-duplicate multisets — plain and sampled, serial and parallel.
+    /// Routes are forced explicitly: these skewed inputs would otherwise
+    /// auto-route to the sorted builder and test nothing.
     #[test]
     fn sortfree_compressed_equals_sort_path(
         data in skewed_multiset(1 << 32),
@@ -335,14 +337,54 @@ proptest! {
         let sampled_reference = CompressedHistogram::from_sorted_sample(&sorted, k, pop);
         for threads in [1usize, 4] {
             prop_assert_eq!(
-                &CompressedHistogram::from_unsorted_threads(threads, &data, k),
+                &CompressedHistogram::from_unsorted_with_route_threads(
+                    threads, &data, k, CompressedRoute::SortFree,
+                ),
                 &reference,
                 "threads = {}", threads
             );
             prop_assert_eq!(
-                &CompressedHistogram::from_unsorted_sample_threads(threads, &data, k, pop),
+                &CompressedHistogram::from_unsorted_sample_with_route_threads(
+                    threads, &data, k, pop, CompressedRoute::SortFree,
+                ),
                 &sampled_reference,
                 "sampled, threads = {}", threads
+            );
+        }
+    }
+
+    /// The compressed constructor's shape routing is invisible in the
+    /// output: for mixtures sweeping the heavy-mass fraction across the
+    /// auto-routing threshold, both explicit routes and the auto route
+    /// produce byte-identical histograms (plain and sampled).
+    #[test]
+    fn compressed_routing_is_byte_invisible(
+        heavy_count in 0usize..4000,
+        light in prop::collection::vec(-1000i64..1000, 2000usize),
+        k in 2usize..16,
+        extra_pop in 0u64..50_000,
+    ) {
+        // heavy fraction = heavy_count / (heavy_count + 2000) ∈ [0, 0.67):
+        // cases land on both sides of the 0.5 auto threshold.
+        let mut data = vec![123i64; heavy_count];
+        data.extend(light);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let reference = CompressedHistogram::from_sorted(&sorted, k);
+        let pop = data.len() as u64 + extra_pop;
+        let sampled_reference = CompressedHistogram::from_sorted_sample(&sorted, k, pop);
+        for route in [CompressedRoute::SortFree, CompressedRoute::Sorted, CompressedRoute::Auto] {
+            prop_assert_eq!(
+                &CompressedHistogram::from_unsorted_with_route_threads(1, &data, k, route),
+                &reference,
+                "route = {:?}", route
+            );
+            prop_assert_eq!(
+                &CompressedHistogram::from_unsorted_sample_with_route_threads(
+                    1, &data, k, pop, route,
+                ),
+                &sampled_reference,
+                "sampled, route = {:?}", route
             );
         }
     }

@@ -1,12 +1,15 @@
 //! `ANALYZE` — building column statistics by scan or sample.
 
 use rand::Rng;
-use samplehist_obs::Recorder;
+use samplehist_obs::{Recorder, Span};
 
 use samplehist_core::distinct::{DistinctEstimator, FrequencyProfile, Gee};
 use samplehist_core::estimate::duplication_density_from_profile;
 use samplehist_core::histogram::{selection_profitable, CompressedHistogram, EquiHeightHistogram};
-use samplehist_core::sampling::{cvb, CvbConfig, Schedule, ValidationMode};
+use samplehist_core::sampling::{
+    cvb, BlockPermutation, CvbConfig, CvbError, DegradationPolicy, DegradationReport, Schedule,
+    TryBlockSource, ValidationMode,
+};
 use samplehist_core::BlockSource;
 use samplehist_storage::{BlockSampler, IoStats, RecordSampler};
 
@@ -83,9 +86,9 @@ impl AnalyzeOptions {
     }
 }
 
-/// Why [`analyze`] can fail. (Statistics building is deliberately
-/// infallible once the target exists — bad rates and bucket counts are
-/// caller bugs and panic instead.)
+/// Why [`analyze`] or [`analyze_resilient`] can fail. (Statistics building
+/// is deliberately infallible once the target exists and is readable — bad
+/// rates and bucket counts are caller bugs and panic instead.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnalyzeError {
     /// The named column does not exist in the table.
@@ -95,6 +98,23 @@ pub enum AnalyzeError {
         /// Column requested.
         column: String,
     },
+    /// Not a single trustworthy page could be read: there is nothing to
+    /// build statistics from, however degraded.
+    TableUnreadable {
+        /// Table analyzed.
+        table: String,
+        /// Column analyzed.
+        column: String,
+        /// How many page reads were attempted before giving up.
+        blocks_tried: usize,
+    },
+    /// The requested mode cannot run against a fallible source (row
+    /// sampling needs tuple addressing, which [`TryBlockSource`] does not
+    /// model).
+    UnsupportedMode {
+        /// The rejected mode's name.
+        mode: &'static str,
+    },
 }
 
 impl std::fmt::Display for AnalyzeError {
@@ -102,6 +122,15 @@ impl std::fmt::Display for AnalyzeError {
         match self {
             AnalyzeError::UnknownColumn { table, column } => {
                 write!(f, "no column {column:?} in table {table:?}")
+            }
+            AnalyzeError::TableUnreadable { table, column, blocks_tried } => {
+                write!(
+                    f,
+                    "no readable pages in {table:?}.{column:?} ({blocks_tried} reads attempted)"
+                )
+            }
+            AnalyzeError::UnsupportedMode { mode } => {
+                write!(f, "mode {mode:?} is not supported on fallible storage")
             }
         }
     }
@@ -161,7 +190,7 @@ pub fn analyze_traced(
     // already produced them sorted (CVB merges sorted rounds; everything
     // else yields storage order).
     let mut acquire = root.child("analyze.acquire");
-    let (mut sample, io, method, is_full, presorted) = match options.mode {
+    let (sample, io, method, is_full, presorted) = match options.mode {
         AnalyzeMode::FullScan => {
             acquire.field("mode", "full_scan");
             let mut io = IoStats::new();
@@ -234,6 +263,33 @@ pub fn analyze_traced(
     acquire.field("sampling_rate", io.tuples_read as f64 / (n.max(1)) as f64);
     acquire.finish();
 
+    let acquisition = Acquisition { sample, io, method, is_full, presorted };
+    Ok(finish_statistics(table.name(), column, n, options, acquisition, &mut root))
+}
+
+/// What an acquisition phase hands to the statistics builder.
+struct Acquisition {
+    sample: Vec<i64>,
+    io: IoStats,
+    method: String,
+    is_full: bool,
+    presorted: bool,
+}
+
+/// The mode-independent back half of ANALYZE: sort routing, histogram and
+/// compressed-histogram construction, density and distinct estimation —
+/// shared between [`analyze_traced`] and [`analyze_resilient_traced`] so
+/// the degraded path builds statistics exactly like the clean one.
+fn finish_statistics(
+    table: &str,
+    column: &str,
+    n: u64,
+    options: &AnalyzeOptions,
+    acquisition: Acquisition,
+    root: &mut Span,
+) -> ColumnStatistics {
+    let Acquisition { mut sample, io, method, is_full, presorted } = acquisition;
+
     // Decide whether the full sort can be skipped: CVB hands back an
     // already-sorted sample, and for everything else the selection/radix
     // rank resolvers plus the hashed frequency profile cover every
@@ -304,8 +360,8 @@ pub fn analyze_traced(
     root.field("method", method.clone());
     root.field("sample_size", sample.len());
 
-    Ok(ColumnStatistics {
-        table: table.name().to_string(),
+    ColumnStatistics {
+        table: table.to_string(),
         column: column.to_string(),
         num_rows: n,
         histogram,
@@ -316,7 +372,240 @@ pub fn analyze_traced(
         sample_size: sample.len() as u64,
         method,
         io,
-    })
+    }
+}
+
+/// The outcome of a resilient ANALYZE: the statistics plus a faithful
+/// account of what was lost obtaining them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientStatistics {
+    /// The statistics, built from every tuple that survived.
+    pub stats: ColumnStatistics,
+    /// What failed, what was replaced, and what the cross-validation
+    /// threshold degraded to (see [`DegradationReport`]).
+    pub degradation: DegradationReport,
+}
+
+/// [`analyze`] against storage whose reads can fail.
+///
+/// Runs the same acquisition modes over a [`TryBlockSource`] (a
+/// fault-injecting wrapper, a retrying wrapper, or any future real I/O
+/// backend), skipping pages that fail for good, replacing them from
+/// undrawn pages up to `policy.replacement_budget`, and degrading
+/// gracefully when replacements run out — in adaptive mode the
+/// cross-validation threshold widens per Theorem 7 and the report says by
+/// how much. Returns [`AnalyzeError::TableUnreadable`] instead of
+/// panicking when not a single page can be read.
+///
+/// `AnalyzeMode::RowSample` is rejected ([`AnalyzeError::UnsupportedMode`]):
+/// it needs tuple addressing, which page-granular fallible storage does
+/// not model.
+///
+/// Determinism: with the same fault schedule and the same `rng` seed, the
+/// result — and the emitted trace, timestamps aside — is bit-identical
+/// across runs. On fault-free storage the statistics equal what
+/// [`analyze`] produces for the same seed in adaptive mode.
+///
+/// # Panics
+/// On invalid options (zero buckets, rates outside (0,1], bad f/γ).
+pub fn analyze_resilient(
+    table: &str,
+    column: &str,
+    source: &impl TryBlockSource,
+    options: &AnalyzeOptions,
+    policy: &DegradationPolicy,
+    rng: &mut impl Rng,
+) -> Result<ResilientStatistics, AnalyzeError> {
+    analyze_resilient_traced(table, column, source, options, policy, rng, &samplehist_obs::global())
+}
+
+/// [`analyze_resilient`] with an explicit [`Recorder`]: same span tree as
+/// [`analyze_traced`] plus the degradation record — `analyze.blocks_failed`
+/// counters as pages are lost, a root-span `degraded` field, and one
+/// `analyze.degraded` counter per degraded run, so fleets can alert on the
+/// rate of lossy ANALYZE runs.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_resilient_traced(
+    table: &str,
+    column: &str,
+    source: &impl TryBlockSource,
+    options: &AnalyzeOptions,
+    policy: &DegradationPolicy,
+    rng: &mut impl Rng,
+    recorder: &Recorder,
+) -> Result<ResilientStatistics, AnalyzeError> {
+    assert!(options.buckets > 0, "need at least one bucket");
+    let n = source.num_tuples();
+    let pages = source.num_blocks();
+    let unreadable = |blocks_tried: usize| AnalyzeError::TableUnreadable {
+        table: table.to_string(),
+        column: column.to_string(),
+        blocks_tried,
+    };
+
+    let mut root = recorder.span("analyze");
+    root.field("table", table.to_string());
+    root.field("column", column.to_string());
+    root.field("rows", n);
+    root.field("pages", pages);
+    root.field("buckets", options.buckets);
+    root.field("resilient", true);
+
+    let mut acquire = root.child("analyze.acquire");
+    let (acquisition, degradation) = match options.mode {
+        AnalyzeMode::RowSample { .. } => {
+            return Err(AnalyzeError::UnsupportedMode { mode: "row_sample" })
+        }
+        AnalyzeMode::FullScan => {
+            acquire.field("mode", "full_scan");
+            let mut io = IoStats::new();
+            let mut values = Vec::with_capacity(n as usize);
+            let mut blocks_failed = 0usize;
+            let mut last_error = None;
+            for p in 0..pages {
+                match source.try_block(p) {
+                    Ok(page) => {
+                        io.charge_page(page.len());
+                        values.extend_from_slice(&page);
+                    }
+                    Err(err) => {
+                        blocks_failed += 1;
+                        last_error = Some(err);
+                        recorder.counter("analyze.blocks_failed", 1);
+                    }
+                }
+            }
+            if values.is_empty() {
+                return Err(unreadable(pages));
+            }
+            let is_full = blocks_failed == 0;
+            let method = if is_full {
+                "full scan".to_string()
+            } else {
+                format!("degraded scan ({blocks_failed} of {pages} pages lost)")
+            };
+            let degradation = DegradationReport {
+                blocks_failed,
+                replacements_drawn: 0,
+                effective_target_f: 0.0,
+                degraded: !is_full,
+                last_error,
+            };
+            (Acquisition { sample: values, io, method, is_full, presorted: false }, degradation)
+        }
+        AnalyzeMode::BlockSample { rate } => {
+            assert!(rate > 0.0 && rate <= 1.0, "block-sampling rate must be in (0,1]");
+            acquire.field("mode", "block_sample");
+            acquire.field("rate", rate);
+            let g = ((pages as f64 * rate).ceil() as usize).clamp(1, pages);
+            let mut permutation = BlockPermutation::with_len(pages, rng);
+            let mut io = IoStats::new();
+            let mut values = Vec::new();
+            let mut kept = 0usize;
+            let mut blocks_failed = 0usize;
+            let mut replacements_drawn = 0usize;
+            let mut last_error = None;
+            let mut want = g;
+            while want > 0 {
+                let ids: Vec<usize> = permutation.take(want).to_vec();
+                if ids.is_empty() {
+                    break;
+                }
+                want = 0;
+                for id in ids {
+                    match source.try_block(id) {
+                        Ok(page) => {
+                            io.charge_page(page.len());
+                            values.extend_from_slice(&page);
+                            kept += 1;
+                        }
+                        Err(err) => {
+                            blocks_failed += 1;
+                            last_error = Some(err);
+                            recorder.counter("analyze.blocks_failed", 1);
+                            if replacements_drawn < policy.replacement_budget {
+                                replacements_drawn += 1;
+                                want += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if values.is_empty() {
+                return Err(unreadable(permutation.drawn()));
+            }
+            let is_full = kept == pages;
+            let method = if blocks_failed == 0 {
+                format!("block sample {:.2}%", rate * 100.0)
+            } else {
+                format!(
+                    "degraded block sample {:.2}% ({blocks_failed} pages lost, {replacements_drawn} replaced)",
+                    rate * 100.0
+                )
+            };
+            let degradation = DegradationReport {
+                blocks_failed,
+                replacements_drawn,
+                effective_target_f: 0.0,
+                degraded: blocks_failed > 0,
+                last_error,
+            };
+            (Acquisition { sample: values, io, method, is_full, presorted: false }, degradation)
+        }
+        AnalyzeMode::Adaptive { target_f, gamma } => {
+            acquire.field("mode", "adaptive");
+            acquire.field("target_f", target_f);
+            let b = source.avg_tuples_per_block().max(1.0);
+            let initial_blocks =
+                (((5.0 * (n as f64).sqrt()) / b).ceil() as usize).clamp(1, pages.max(1));
+            let config = CvbConfig {
+                buckets: options.buckets,
+                target_f,
+                gamma,
+                schedule: Schedule::Doubling { initial_blocks },
+                validation: ValidationMode::AllTuples,
+                max_block_fraction: 1.0,
+            };
+            let (result, report) = cvb::try_run_traced(source, &config, policy, rng, recorder)
+                .map_err(|CvbError::SourceUnreadable { blocks_tried, .. }| {
+                    unreadable(blocks_tried)
+                })?;
+            let io = IoStats {
+                pages_read: (result.blocks_sampled - report.blocks_failed) as u64,
+                tuples_read: result.tuples_sampled,
+            };
+            let method = format!(
+                "adaptive CVB (f={target_f}, {} rounds, {}{})",
+                result.rounds.len(),
+                if result.converged { "converged" } else { "exhausted" },
+                if report.degraded {
+                    format!(", degraded to f={:.3}", report.effective_target_f)
+                } else {
+                    String::new()
+                }
+            );
+            // A degraded "full" walk read every page but lost some: the
+            // sample is not the relation, so the histogram must stay scaled.
+            let is_full = result.exhausted && !report.degraded;
+            (
+                Acquisition { sample: result.sample_sorted, io, method, is_full, presorted: true },
+                report,
+            )
+        }
+    };
+    acquire.field("pages_read", acquisition.io.pages_read);
+    acquire.field("tuples_read", acquisition.io.tuples_read);
+    acquire.field("sampling_rate", acquisition.io.tuples_read as f64 / (n.max(1)) as f64);
+    acquire.finish();
+
+    if degradation.degraded {
+        recorder.counter("analyze.degraded", 1);
+    }
+    root.field("degraded", degradation.degraded);
+    root.field("blocks_failed", degradation.blocks_failed);
+
+    let stats = finish_statistics(table, column, n, options, acquisition, &mut root);
+    Ok(ResilientStatistics { stats, degradation })
 }
 
 #[cfg(test)]

@@ -51,9 +51,13 @@ mod selectivity;
 mod stats;
 mod table;
 
-pub use analyze::{analyze, analyze_traced, AnalyzeError, AnalyzeMode, AnalyzeOptions};
+pub use analyze::{
+    analyze, analyze_resilient, analyze_resilient_traced, analyze_traced, AnalyzeError,
+    AnalyzeMode, AnalyzeOptions, ResilientStatistics,
+};
 pub use catalog::Catalog;
 pub use predicate::Predicate;
+pub use samplehist_core::sampling::{DegradationPolicy, DegradationReport};
 pub use selectivity::{estimate_cardinality, estimate_equijoin, CardinalityEstimate};
 pub use stats::ColumnStatistics;
 pub use table::{Column, Table, TableBuilder};

@@ -6,7 +6,7 @@ use samplehist_core::histogram::{CompressedHistogram, EquiHeightHistogram};
 use samplehist_storage::IoStats;
 
 /// Everything the optimizer knows about one column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStatistics {
     /// Owning table.
     pub table: String,

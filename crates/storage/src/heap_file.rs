@@ -98,6 +98,15 @@ impl HeapFile {
         (self.values[idx], PageId((idx / self.tuples_per_page) as u32))
     }
 
+    /// The content checksum of `page` (see [`crate::page_checksum`]) —
+    /// what a reader verifying integrity expects the page to hash to.
+    ///
+    /// # Panics
+    /// If the page is out of range.
+    pub fn page_checksum(&self, page: PageId) -> u64 {
+        crate::page::page_checksum(self.page(page))
+    }
+
     /// Full scan: every value, in storage order (borrow).
     pub fn scan(&self) -> &[i64] {
         &self.values

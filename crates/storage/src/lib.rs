@@ -20,6 +20,10 @@
 //! * [`BlockSampler`] / [`RecordSampler`] — page- and tuple-grained
 //!   samplers that charge their I/O to an [`IoStats`] meter, so
 //!   experiments can report "disk blocks read" like the paper's Figure 4.
+//! * [`FaultInjectingStorage`] / [`Retrying`] — a seeded, reproducible
+//!   fault schedule (transient, dead, and torn pages, the latter detected
+//!   via [`page_checksum`]) plus a deterministic retry-with-backoff
+//!   policy, for exercising the degradation-aware sampling paths.
 //!
 //! `HeapFile` implements [`samplehist_core::BlockSource`], so everything
 //! in `samplehist_core::sampling` (including the adaptive CVB algorithm)
@@ -47,14 +51,16 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
+mod fault;
 mod heap_file;
 mod io;
 mod layout;
 mod page;
 mod sampler;
 
+pub use fault::{FaultInjectingStorage, FaultSpec, FaultStats, PageFault, RetryPolicy, Retrying};
 pub use heap_file::HeapFile;
 pub use io::IoStats;
 pub use layout::Layout;
-pub use page::{tuples_per_page, PageId, DEFAULT_PAGE_BYTES};
+pub use page::{page_checksum, tuples_per_page, PageId, DEFAULT_PAGE_BYTES};
 pub use sampler::{BlockSampler, RecordSampler};

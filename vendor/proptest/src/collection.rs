@@ -46,6 +46,42 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = runner.rng().gen_range(self.size.min..=self.size.max);
         (0..len).map(|_| self.element.new_value(runner)).collect()
     }
+
+    fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let len = value.len();
+        let min = self.size.min;
+        let mut out: Vec<Self::Value> = Vec::new();
+        // Length candidates first (biggest simplification): prefix and
+        // suffix halves, never shorter than the size minimum, then
+        // drop-last. The prefix is skipped when it would equal drop-last
+        // (len 2) and both halves when they would be empty duplicates of
+        // it (len 1); the suffix at len 2 is drop-first, which drop-last
+        // cannot reach.
+        if len > min {
+            let half = min.max(len / 2);
+            if half + 1 < len {
+                out.push(value[..half].to_vec());
+            }
+            if half > 0 && half < len {
+                out.push(value[len - half..].to_vec());
+            }
+            out.push(value[..len - 1].to_vec());
+        }
+        // Then element-wise candidates from the element strategy, capped
+        // so a long vector cannot materialize more clones than the
+        // harness's shrink budget could ever try.
+        for (i, elem) in value.iter().enumerate() {
+            if out.len() >= crate::SHRINK_BUDGET as usize {
+                break;
+            }
+            for cand in self.element.shrink_value(elem) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
 }
 
 /// Vectors of values from `element`, sized by `size`.

@@ -9,9 +9,12 @@
 //!
 //! Differences from upstream, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its inputs (every generated
-//!   binding is included in the panic message via `Debug`) but is not
-//!   minimized.
+//! * **Bounded halving shrinking** instead of upstream's full shrink
+//!   tree: on failure the harness greedily applies [`Strategy::shrink_value`]
+//!   candidates (vector halving / truncation respecting the size
+//!   minimum, integers halving toward their range start) for at most
+//!   [`SHRINK_BUDGET`] re-executions, then reports both the original and
+//!   the minimized failing inputs and re-raises the minimal panic.
 //! * **Deterministic seeding.** Each test derives its RNG stream from a
 //!   stable hash of the test name, so failures reproduce exactly across
 //!   runs and machines. Set `PROPTEST_SEED` to explore other streams.
@@ -75,14 +78,23 @@ impl TestRunner {
 
 /// A generator of random values of one type.
 pub trait Strategy {
-    /// The generated type.
-    type Value: std::fmt::Debug;
+    /// The generated type. `Clone` lets the shrinking harness mutate
+    /// copies of a failing input without re-generating it.
+    type Value: std::fmt::Debug + Clone;
 
     /// Produce one value.
     fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
 
+    /// Candidate simplifications of `value`, ordered most-aggressive
+    /// first. The default (no candidates) means "not shrinkable";
+    /// integer ranges halve toward their start and `collection::vec`
+    /// halves its length, so the common strategies minimize well.
+    fn shrink_value(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transform generated values with `f`.
-    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    fn prop_map<U: std::fmt::Debug + Clone, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
     {
@@ -106,11 +118,13 @@ pub struct Map<S, F> {
     f: F,
 }
 
-impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+impl<S: Strategy, U: std::fmt::Debug + Clone, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn new_value(&self, runner: &mut TestRunner) -> U {
         (self.f)(self.inner.new_value(runner))
     }
+    // Mapped values can't be shrunk: the pre-image of `value` under `f`
+    // is unknown, so the default empty candidate list applies.
 }
 
 /// Strategy produced by [`Strategy::prop_filter`].
@@ -132,6 +146,11 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
     }
+    fn shrink_value(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink via the inner strategy but never propose a candidate
+        // the filter would have rejected at generation time.
+        self.inner.shrink_value(value).into_iter().filter(|v| (self.f)(v)).collect()
+    }
 }
 
 /// Strategy that always yields a clone of one value.
@@ -150,14 +169,20 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
         (**self).new_value(runner)
     }
+    fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink_value(value)
+    }
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_int_range_strategy {
     ($($t:ty),* $(,)?) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
             fn new_value(&self, runner: &mut TestRunner) -> $t {
                 runner.rng().gen_range(self.clone())
+            }
+            fn shrink_value(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(self.start, *value)
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -165,11 +190,59 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, runner: &mut TestRunner) -> $t {
                 runner.rng().gen_range(self.clone())
             }
+            fn shrink_value(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*self.start(), *value)
+            }
+        }
+
+        impl IntShrink for $t {
+            fn midpoint_with(self, other: $t) -> $t {
+                // Overflow-free floor((a + b) / 2); arithmetic shift
+                // keeps it correct for signed types too.
+                (self & other) + ((self ^ other) >> 1)
+            }
+            fn pred(self) -> $t {
+                self - 1
+            }
         }
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+/// Integer ops the range shrinkers need, kept private to this crate.
+trait IntShrink: Copy + PartialOrd {
+    fn midpoint_with(self, other: Self) -> Self;
+    fn pred(self) -> Self;
+}
+
+/// Candidates between `start` (the range minimum, "simplest") and the
+/// failing `value`: the minimum itself, the midpoint, and `value − 1`.
+/// Ascending and deduplicated, so the greedy driver tries the biggest
+/// jump first; empty once `value` is already minimal.
+fn int_shrink_candidates<T: IntShrink>(start: T, value: T) -> Vec<T> {
+    if value <= start {
+        return Vec::new();
+    }
+    let mut out = vec![start, start.midpoint_with(value), value.pred()];
+    out.dedup_by(|a, b| a == b);
+    out
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// f64 ranges generate but do not shrink: "simpler" is ill-defined under
+// rounding, and no workspace property keys on float minimality.
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($(($($n:tt $S:ident),+);)*) => {$(
@@ -177,6 +250,17 @@ macro_rules! impl_tuple_strategy {
             type Value = ($($S::Value,)+);
             fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
                 ($(self.$n.new_value(runner),)+)
+            }
+            fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$n.shrink_value(&value.$n) {
+                        let mut next = value.clone();
+                        next.$n = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -190,8 +274,58 @@ impl_tuple_strategy! {
     (0 A, 1 B, 2 C, 3 D, 4 E);
 }
 
+/// Re-executions of a failing test body the `proptest!` harness spends
+/// minimizing the failing input before reporting it.
+///
+/// Halving makes each pass cheap: a `0..2^B` integer needs ~`B` accepted
+/// candidates, a length-`L` vector ~`log2 L` length steps plus per-element
+/// work, so 512 re-runs minimize typical workspace inputs with room to
+/// spare while still hard-bounding shrink time for expensive bodies.
+pub const SHRINK_BUDGET: u32 = 512;
+
+/// Greedy bounded shrinking: starting from a failing `value`, repeatedly
+/// move to the first [`Strategy::shrink_value`] candidate on which
+/// `failed` still returns `true`, until no candidate fails or `budget`
+/// re-executions are spent. Returns the most-shrunk failing value found.
+///
+/// `failed` must return `true` when the test body FAILS on the input —
+/// the driver preserves failure while simplifying, so the result is a
+/// (locally) minimal witness of the same property violation.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    failed: impl Fn(&S::Value) -> bool,
+    mut budget: u32,
+) -> S::Value {
+    loop {
+        let mut improved = false;
+        for candidate in strategy.shrink_value(&value) {
+            if budget == 0 {
+                return value;
+            }
+            budget -= 1;
+            if failed(&candidate) {
+                value = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return value;
+        }
+    }
+}
+
+/// Ties a check closure's argument type to a strategy's `Value` so the
+/// closure body type-checks before its first call site. Used by the
+/// [`proptest!`] expansion; not part of the public API surface.
+#[doc(hidden)]
+pub fn constrain_failure_check<S: Strategy, F: Fn(&S::Value) -> bool>(_strategy: &S, f: F) -> F {
+    f
+}
+
 /// Types with a canonical "any value" strategy.
-pub trait Arbitrary: Sized + std::fmt::Debug {
+pub trait Arbitrary: Sized + std::fmt::Debug + Clone {
     /// Draw one arbitrary value.
     fn arbitrary(runner: &mut TestRunner) -> Self;
 }
@@ -261,7 +395,10 @@ macro_rules! prop_assert_ne {
 
 /// Define property tests: each `fn name(binding in strategy, ...) { body }`
 /// item becomes a `#[test]` running `body` against `config.cases` random
-/// cases. On a panic the failing case's inputs are printed (no shrinking).
+/// cases. On a panic the failing inputs are minimized with up to
+/// [`SHRINK_BUDGET`] bounded-halving shrink steps, both the original and
+/// the minimal failing case are printed, and the minimal case's panic is
+/// re-raised so the assertion message matches the reported inputs.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -273,20 +410,43 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let mut runner = $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
-                    $(let $bind = $crate::Strategy::new_value(&($strat), &mut runner);)*
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        $(let $bind = &$bind;)*
+                // One tuple strategy over all bindings lets the shrink
+                // driver treat the whole input as a single value.
+                let strategy = ($(($strat),)*);
+                let failed = $crate::constrain_failure_check(&strategy, |input| {
+                    let ($($bind,)*) = input;
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         $(let $bind = ::std::clone::Clone::clone($bind);)*
                         $body
-                    }));
-                    if let Err(panic) = result {
+                    }))
+                    .is_err()
+                });
+                for case in 0..config.cases {
+                    let input = $crate::Strategy::new_value(&strategy, &mut runner);
+                    if failed(&input) {
                         eprintln!(
                             "proptest case {}/{} failed in {} with inputs:",
                             case + 1, config.cases, stringify!($name)
                         );
+                        {
+                            let ($($bind,)*) = &input;
+                            $(eprintln!("  {} = {:?}", stringify!($bind), $bind);)*
+                        }
+                        let minimal = $crate::shrink_failure(
+                            &strategy, input, &failed, $crate::SHRINK_BUDGET,
+                        );
+                        eprintln!("minimal failing case after shrinking:");
+                        let ($($bind,)*) = &minimal;
                         $(eprintln!("  {} = {:?}", stringify!($bind), $bind);)*
-                        std::panic::resume_unwind(panic);
+                        // Re-run the minimal case outside catch_unwind so
+                        // the panic the user sees matches the inputs
+                        // printed above.
+                        $(let $bind = ::std::clone::Clone::clone($bind);)*
+                        $body
+                        panic!(
+                            "proptest: minimal case stopped failing on re-run \
+                             (non-deterministic test body?)"
+                        );
                     }
                 }
             }
@@ -309,6 +469,60 @@ mod tests {
         let a: Vec<u64> = (0..32).map(|_| s.new_value(&mut r1)).collect();
         let b: Vec<u64> = (0..32).map(|_| s.new_value(&mut r2)).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn integer_shrink_candidates_move_toward_start() {
+        let s = 10i64..100;
+        assert!(s.shrink_value(&10).is_empty(), "range minimum is already minimal");
+        assert_eq!(s.shrink_value(&11), vec![10]);
+        // start, midpoint, predecessor — ascending so the greedy driver
+        // tries the biggest jump first.
+        assert_eq!(s.shrink_value(&99), vec![10, 54, 98]);
+        let inc = 0u32..=8;
+        assert_eq!(inc.shrink_value(&8), vec![0, 4, 7]);
+    }
+
+    #[test]
+    fn filter_never_proposes_rejected_candidates() {
+        let s = (0i64..100).prop_filter("even", |&x| x % 2 == 0);
+        assert!(s.shrink_value(&96).iter().all(|&x| x % 2 == 0));
+    }
+
+    #[test]
+    fn planted_vec_failure_shrinks_to_single_element_witness() {
+        // Property under test: "no element is >= 50". The minimal
+        // counterexample under bounded halving is exactly `[50]` — one
+        // element, decremented to the failure boundary.
+        let strategy = (prop::collection::vec(0i64..100, 0..20),);
+        let failed = |input: &(Vec<i64>,)| input.0.iter().any(|&x| x >= 50);
+        let mut runner = TestRunner::new("planted-witness");
+        let input = loop {
+            let candidate = strategy.new_value(&mut runner);
+            if failed(&candidate) {
+                break candidate;
+            }
+        };
+        let minimal = crate::shrink_failure(&strategy, input, failed, crate::SHRINK_BUDGET);
+        assert_eq!(minimal.0, vec![50], "expected the exact boundary witness");
+    }
+
+    #[test]
+    fn shrinking_respects_the_size_minimum() {
+        // An always-failing check shrinks everything to its floor: the
+        // vector to its minimum length, each element to the range start.
+        let s = prop::collection::vec(5i64..100, 3..10);
+        let mut runner = TestRunner::new("size-floor");
+        let start = s.new_value(&mut runner);
+        let minimal = crate::shrink_failure(&s, start, |_| true, crate::SHRINK_BUDGET);
+        assert_eq!(minimal, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn shrink_failure_is_budget_bounded() {
+        // With budget 0 the original failing value is returned untouched.
+        let s = 0u64..1000;
+        assert_eq!(crate::shrink_failure(&s, 937, |_| true, 0), 937);
     }
 
     #[test]
