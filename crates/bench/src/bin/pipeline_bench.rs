@@ -7,6 +7,7 @@
 //! SAMPLEHIST_N=1000000 cargo run --release -p samplehist-bench --bin pipeline_bench
 //! cargo run --release -p samplehist-bench --bin pipeline_bench -- --route radix --route sort
 //! cargo run --release -p samplehist-bench --bin pipeline_bench -- --check BENCH_pipeline.json
+//! cargo run --release -p samplehist-bench --bin pipeline_bench -- --compare BENCH_baseline.json
 //! ```
 //!
 //! "Before" is the seed pipeline: clone + full `sort_unstable` +
@@ -16,7 +17,10 @@
 //! `CompressedHistogram::from_unsorted`. Every timed repetition asserts
 //! the candidate is byte-identical to the sort-path reference. `--check`
 //! validates an existing result file against the JSON schema (the CI
-//! gate — same hand-rolled parser the trace validator uses).
+//! gate — same hand-rolled parser the trace validator uses); `--compare`
+//! gates a fresh `BENCH_pipeline.json` against a blessed baseline,
+//! failing with non-zero exit if any route's `speedup_vs_sort` regressed
+//! more than 25%.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -236,15 +240,89 @@ fn check_file(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+// -- `--compare`: the CI regression gate --------------------------------
+
+/// A route regresses when its `speedup_vs_sort` drops below the
+/// baseline's divided by this factor (>25% slower than it was when the
+/// baseline was blessed). Speedups, not raw seconds, so the gate is
+/// portable across runner hardware: both numbers are ratios against the
+/// same machine's own sort path.
+const REGRESSION_FACTOR: f64 = 1.25;
+
+/// Measurement identity within a bench file: (distribution, kind, route).
+type RouteKey = (String, String, String);
+
+/// Per-measurement speedups keyed by (distribution, kind, route).
+fn speedup_index(obj: &Json) -> Result<Vec<(RouteKey, f64)>, String> {
+    let rows = match obj.get("rows") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err("missing \"rows\" array".into()),
+    };
+    rows.iter()
+        .map(|row| {
+            let field = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("missing {key:?}"))
+            };
+            let key = (field("distribution")?, field("kind")?, field("route")?);
+            let speedup = require_positive_f64(row, "speedup_vs_sort")?;
+            Ok((key, speedup))
+        })
+        .collect()
+}
+
+fn compare_files(baseline_path: &str, current_path: &str) -> Result<(), String> {
+    check_file(baseline_path).map_err(|e| format!("baseline: {e}"))?;
+    check_file(current_path).map_err(|e| format!("current: {e}"))?;
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = speedup_index(&load(baseline_path)?)?;
+    let current = speedup_index(&load(current_path)?)?;
+
+    let mut regressions = 0usize;
+    for ((dist, kind, route), base) in &baseline {
+        let key = format!("{dist}/{kind}/{route}");
+        let Some((_, cur)) =
+            current.iter().find(|((d, k, r), _)| (d, k, r) == (&dist.to_string(), kind, route))
+        else {
+            // A vanished measurement is a silent hole in coverage, not a
+            // pass.
+            eprintln!("REGRESSION {key}: present in baseline, missing from current run");
+            regressions += 1;
+            continue;
+        };
+        let floor = base / REGRESSION_FACTOR;
+        if *cur < floor {
+            eprintln!(
+                "REGRESSION {key}: speedup_vs_sort {cur:.3} < {floor:.3} \
+                 (baseline {base:.3} / {REGRESSION_FACTOR})"
+            );
+            regressions += 1;
+        } else {
+            println!("ok {key}: speedup_vs_sort {cur:.3} (baseline {base:.3})");
+        }
+    }
+    if regressions > 0 {
+        return Err(format!("{regressions} measurement(s) regressed >25% vs {baseline_path}"));
+    }
+    println!("compare: {} measurements within 25% of {baseline_path}", baseline.len());
+    Ok(())
+}
+
 // -- argument parsing ---------------------------------------------------
 
 struct Args {
     routes: Vec<ConstructionRoute>,
     check: Option<String>,
+    compare: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { routes: Vec::new(), check: None };
+    let mut args = Args { routes: Vec::new(), check: None, compare: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -262,6 +340,9 @@ fn parse_args() -> Result<Args, String> {
             "--check" => {
                 args.check = Some(it.next().unwrap_or_else(|| OUT_PATH.to_string()));
             }
+            "--compare" => {
+                args.compare = Some(it.next().ok_or("--compare needs a baseline path")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -277,11 +358,23 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("pipeline_bench: {e}");
             eprintln!(
-                "usage: pipeline_bench [--route auto|sort|selection|radix]... [--check [PATH]]"
+                "usage: pipeline_bench [--route auto|sort|selection|radix]... [--check [PATH]] \
+                 [--compare BASELINE]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if let Some(baseline) = args.compare {
+        // Gate the current result file (fresh from a bench run) against a
+        // blessed baseline; non-zero exit on any >25% regression.
+        return match compare_files(&baseline, OUT_PATH) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("pipeline_bench --compare failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if let Some(path) = args.check {
         return match check_file(&path) {
             Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,382 @@
+//! Open-loop workload against the concurrent statistics service, written
+//! to `BENCH_service.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p samplehist-bench --bin statserve
+//! SAMPLEHIST_N=1000000 cargo run --release -p samplehist-bench --bin statserve
+//! SAMPLEHIST_SERVICE_MILLIS=5000 cargo run --release -p samplehist-bench --bin statserve
+//! cargo run --release -p samplehist-bench --bin statserve -- --check BENCH_service.json
+//! ```
+//!
+//! Reader threads fire cardinality and equi-join estimates while mutator
+//! threads churn modification counters, which drives the full staleness
+//! pipeline in the background: suspicion → cross-validation probe →
+//! (only on probe failure) full CVB re-ANALYZE. One table sits on
+//! fault-injecting storage so the resilient path is load-bearing, not
+//! decorative. Every reader asserts its answers come from internally
+//! consistent snapshots — the "no partially-written entries" criterion
+//! runs inside the benchmark itself.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samplehist_engine::{AnalyzeOptions, Predicate, Table};
+use samplehist_obs::json::{self, Json};
+use samplehist_service::{ServiceConfig, StalenessPolicy, StatsService};
+use samplehist_storage::{FaultSpec, Layout};
+
+/// Rows per table (service benches default smaller than the pipeline
+/// bench — refreshes scan repeatedly). `SAMPLEHIST_N` overrides.
+const DEFAULT_N: usize = 200_000;
+/// Workload duration; `SAMPLEHIST_SERVICE_MILLIS` overrides.
+const DEFAULT_MILLIS: u64 = 2_000;
+/// Query threads.
+const READERS: usize = 4;
+/// Churn threads.
+const MUTATORS: usize = 2;
+/// Output / `--check` default path.
+const OUT_PATH: &str = "BENCH_service.json";
+
+fn build_table(name: &str, rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uniform: Vec<i64> = (0..rows as i64).collect();
+    let zipfish: Vec<i64> = (0..rows).map(|i| (i as i64) % 1009).collect();
+    Table::builder(name)
+        .column_with_blocking("uniform", uniform, 50, Layout::Random, &mut rng)
+        .column_with_blocking("zipfish", zipfish, 50, Layout::Random, &mut rng)
+        .build()
+}
+
+/// Merge-free percentile over an owned sorted sample, in microseconds.
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct WorkloadResult {
+    queries: u64,
+    latencies_us: Vec<u64>,
+    mutations: u64,
+}
+
+fn run_workload(
+    n: usize,
+    millis: u64,
+    refresh_threads: usize,
+) -> (Arc<StatsService>, WorkloadResult, f64) {
+    let svc = StatsService::new(ServiceConfig {
+        refresh_threads,
+        // Eager staleness so a short run still exercises probes and
+        // re-ANALYZE; adaptive CVB is the refresh acquisition mode.
+        staleness: StalenessPolicy {
+            mod_fraction: 0.05,
+            min_mods: 256,
+            ..StalenessPolicy::default()
+        },
+        analyze: AnalyzeOptions::adaptive(100),
+        backoff_base_ticks: 5,
+        ..ServiceConfig::default()
+    });
+    svc.register_table(build_table("orders", n, 0xBEEF), None);
+    svc.register_table(
+        build_table("lineitem", n, 0xFEED),
+        Some(FaultSpec::healthy(0xD1CE).with_transient(0.03, 2).with_unreadable(0.01)),
+    );
+    // Warm three of four columns so the run starts mid-life: hits, stale
+    // hits and at least one cold miss all occur.
+    for (t, c) in [("orders", "uniform"), ("orders", "zipfish"), ("lineitem", "uniform")] {
+        svc.refresh_now(t, c).expect("warm-up ANALYZE");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let (queries, latencies_us, mutations) = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for r in 0..READERS as u64 {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            readers.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xAB + r);
+                let mut count = 0u64;
+                let mut lat = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let table = if rng.gen_bool(0.5) { "orders" } else { "lineitem" };
+                    let column = if rng.gen_bool(0.5) { "uniform" } else { "zipfish" };
+                    let t = Instant::now();
+                    if rng.gen_bool(0.9) {
+                        let est = svc.estimate_cardinality(
+                            table,
+                            column,
+                            &Predicate::Le(rng.gen_range(0..1009)),
+                        );
+                        if let Some(est) = est {
+                            assert!(
+                                est.rows.is_finite() && est.rows >= 0.0,
+                                "torn snapshot produced {est:?}"
+                            );
+                        }
+                    } else {
+                        let _ = svc.estimate_equijoin("orders", column, "lineitem", column);
+                    }
+                    lat.push(t.elapsed().as_micros() as u64);
+                    count += 1;
+                }
+                (count, lat)
+            }));
+        }
+        let mut mutators = Vec::new();
+        for m in 0..MUTATORS as u64 {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            mutators.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xCD + m);
+                let mut mutated = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let table = if rng.gen_bool(0.5) { "orders" } else { "lineitem" };
+                    let column = if rng.gen_bool(0.5) { "uniform" } else { "zipfish" };
+                    let batch = rng.gen_range(1..200);
+                    assert!(svc.record_modifications(table, column, batch));
+                    mutated += batch;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                mutated
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(millis));
+        stop.store(true, Ordering::Relaxed);
+        let mut queries = 0u64;
+        let mut latencies = Vec::new();
+        for h in readers {
+            let (count, lat) = h.join().expect("reader thread");
+            queries += count;
+            latencies.extend(lat);
+        }
+        let mutations = mutators.into_iter().map(|h| h.join().expect("mutator")).sum();
+        (queries, latencies, mutations)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    svc.wait_idle();
+    (svc, WorkloadResult { queries, latencies_us, mutations }, elapsed)
+}
+
+// -- `--check` ----------------------------------------------------------
+
+fn require_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing/non-integer {key:?}"))
+}
+
+fn require_section<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing {key:?} section"))
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let obj = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    for key in [
+        "rows_per_table",
+        "tables",
+        "columns_per_table",
+        "detected_cores",
+        "refresh_threads",
+        "reader_threads",
+    ] {
+        if require_u64(&obj, key)? == 0 {
+            return Err(format!("{key:?} must be >= 1"));
+        }
+    }
+    match obj.get("duration_seconds").and_then(Json::as_f64) {
+        Some(v) if v > 0.0 => {}
+        _ => return Err("missing/non-positive \"duration_seconds\"".into()),
+    }
+
+    let q = require_section(&obj, "queries")?;
+    let total = require_u64(q, "total")?;
+    let hits = require_u64(q, "hits")?;
+    let misses = require_u64(q, "misses")?;
+    let stale = require_u64(q, "stale_hits")?;
+    if total == 0 || hits == 0 {
+        return Err("workload served no hits — the service never answered".into());
+    }
+    if hits + misses < total / 2 {
+        // Equijoins count one query but two lookups, so exact equality
+        // is not expected; an order-of-magnitude mismatch means broken
+        // accounting.
+        return Err(format!(
+            "lookup accounting off: hits {hits} + misses {misses} vs total {total}"
+        ));
+    }
+    if stale > hits {
+        return Err(format!("stale_hits {stale} cannot exceed hits {hits}"));
+    }
+    match q.get("throughput_per_sec").and_then(Json::as_f64) {
+        Some(v) if v > 0.0 => {}
+        _ => return Err("missing/non-positive \"throughput_per_sec\"".into()),
+    }
+    let lat = require_section(q, "latency_us")?;
+    let p50 = require_u64(lat, "p50")?;
+    let p95 = require_u64(lat, "p95")?;
+    let p99 = require_u64(lat, "p99")?;
+    let max = require_u64(lat, "max")?;
+    if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+        return Err(format!("latency percentiles not monotone: {p50}/{p95}/{p99}/{max}"));
+    }
+
+    let m = require_section(&obj, "mutations")?;
+    if require_u64(m, "total")? == 0 {
+        return Err("workload recorded no mutations — staleness was never exercised".into());
+    }
+
+    let r = require_section(&obj, "refreshes")?;
+    let completed = require_u64(r, "completed")?;
+    let probes = require_u64(r, "probes")?;
+    let probe_passes = require_u64(r, "probe_passes")?;
+    let reanalyzes = require_u64(r, "full_reanalyzes")?;
+    require_u64(r, "failed")?;
+    require_u64(r, "rejected")?;
+    if completed == 0 {
+        return Err("no refresh ever completed".into());
+    }
+    if probe_passes > probes {
+        return Err(format!("probe_passes {probe_passes} cannot exceed probes {probes}"));
+    }
+    if reanalyzes == 0 {
+        return Err("no full re-ANALYZE ran (warm-up alone should produce several)".into());
+    }
+    println!("{path}: OK — {total} queries, {completed} refreshes");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut check: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = Some(it.next().unwrap_or_else(|| OUT_PATH.to_string())),
+            other => {
+                eprintln!("statserve: unknown argument {other:?}");
+                eprintln!("usage: statserve [--check [PATH]]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = check {
+        return match check_file(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("statserve --check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let n: usize =
+        std::env::var("SAMPLEHIST_N").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_N);
+    let millis: u64 = std::env::var("SAMPLEHIST_SERVICE_MILLIS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MILLIS);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let refresh_threads = samplehist_parallel::num_threads();
+    println!(
+        "statserve: {n} rows/table, {millis} ms, {READERS} readers + {MUTATORS} mutators, \
+         {refresh_threads} refresh workers on {cores} cores"
+    );
+
+    let (svc, result, elapsed) = run_workload(n, millis, refresh_threads);
+    let tally = svc.tally();
+    let mut lat = result.latencies_us;
+    lat.sort_unstable();
+    let throughput = result.queries as f64 / elapsed;
+    println!(
+        "served {} queries in {elapsed:.2}s ({throughput:.0}/s): {} hits, {} misses, {} stale; \
+         refreshes: {} completed ({} probes, {} passes, {} re-ANALYZEs), {} failed, {} rejected",
+        result.queries,
+        svc.hits(),
+        svc.misses(),
+        svc.stale_hits(),
+        tally.completed,
+        tally.probes,
+        tally.probe_passes,
+        tally.full_reanalyzes,
+        tally.failed,
+        tally.rejected,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"rows_per_table\": {n},\n",
+            "  \"tables\": 2,\n",
+            "  \"columns_per_table\": 2,\n",
+            "  \"detected_cores\": {cores},\n",
+            "  \"refresh_threads\": {rt},\n",
+            "  \"reader_threads\": {readers},\n",
+            "  \"mutator_threads\": {mutators},\n",
+            "  \"duration_seconds\": {dur:.3},\n",
+            "  \"queries\": {{\n",
+            "    \"total\": {total},\n",
+            "    \"hits\": {hits},\n",
+            "    \"misses\": {misses},\n",
+            "    \"stale_hits\": {stale},\n",
+            "    \"throughput_per_sec\": {tput:.1},\n",
+            "    \"latency_us\": {{\n",
+            "      \"p50\": {p50},\n",
+            "      \"p95\": {p95},\n",
+            "      \"p99\": {p99},\n",
+            "      \"max\": {pmax}\n",
+            "    }}\n",
+            "  }},\n",
+            "  \"mutations\": {{\n",
+            "    \"total\": {muts}\n",
+            "  }},\n",
+            "  \"refreshes\": {{\n",
+            "    \"completed\": {completed},\n",
+            "    \"failed\": {failed},\n",
+            "    \"probes\": {probes},\n",
+            "    \"probe_passes\": {passes},\n",
+            "    \"full_reanalyzes\": {reans},\n",
+            "    \"rejected\": {rejected}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        n = n,
+        cores = cores,
+        rt = refresh_threads,
+        readers = READERS,
+        mutators = MUTATORS,
+        dur = elapsed,
+        total = result.queries,
+        hits = svc.hits(),
+        misses = svc.misses(),
+        stale = svc.stale_hits(),
+        tput = throughput,
+        p50 = percentile_us(&lat, 0.50),
+        p95 = percentile_us(&lat, 0.95),
+        p99 = percentile_us(&lat, 0.99),
+        pmax = lat.last().copied().unwrap_or(0),
+        muts = result.mutations,
+        completed = tally.completed,
+        failed = tally.failed,
+        probes = tally.probes,
+        passes = tally.probe_passes,
+        reans = tally.full_reanalyzes,
+        rejected = tally.rejected,
+    );
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_service.json");
+    println!("wrote {OUT_PATH}");
+    // Self-validate so schema drift fails here, not in CI.
+    match check_file(OUT_PATH) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("statserve: self-check failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

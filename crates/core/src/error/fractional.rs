@@ -131,6 +131,83 @@ pub fn fractional_max_error(
     FractionalReport { distinct_separators: distinct, gaps, max }
 }
 
+/// Definition 4's fractional max error of a **stored histogram** against a
+/// fresh observed sample, using the histogram's own bucket masses as the
+/// reference distribution.
+///
+/// [`fractional_max_error`] needs the sorted multiset the separators were
+/// derived from; a statistics catalog does not retain that sample. But the
+/// histogram already records each bucket's mass, and bucket `j`'s mass
+/// lies entirely in `(s_{j-1}, s_j]` — so the reference cumulative
+/// fraction at every distinct separator is exact from the stored counts
+/// alone: `f(d) = (Σ counts of buckets with upper separator ≤ d) / n`.
+/// This is what a Theorem-7-style *staleness probe* evaluates: draw a
+/// small fresh sample, partition it with the stored separators, and
+/// compare gap masses. A histogram whose true error stayed within the
+/// build-time target passes a `2f` threshold with high probability; one
+/// the data has drifted away from fails it (same accept/reject geometry
+/// as the cross-validation test inside CVB).
+///
+/// # Panics
+/// If `observed_sorted` is empty.
+pub fn histogram_fractional_error(
+    histogram: &crate::histogram::EquiHeightHistogram,
+    observed_sorted: &[i64],
+) -> FractionalReport {
+    assert!(!observed_sorted.is_empty(), "observed multiset must be non-empty");
+    let separators = histogram.separators();
+    let counts = histogram.counts();
+    let total = histogram.total() as f64;
+    let no = observed_sorted.len() as f64;
+
+    let mut gaps = Vec::with_capacity(separators.len() + 1);
+    let mut distinct = Vec::new();
+    let mut max = 0.0f64;
+    let mut prev_f = 0.0f64;
+    let mut prev_p = 0.0f64;
+
+    let mut push_gap = |upper: Option<i64>, f_cum: f64, p_cum: f64, prev_f: f64, prev_p: f64| {
+        let rf = f_cum - prev_f;
+        let of = p_cum - prev_p;
+        let rel = if rf > 0.0 { Some((rf - of).abs() / rf) } else { None };
+        if let Some(e) = rel {
+            if e > max {
+                max = e;
+            }
+        }
+        gaps.push(FractionalGap {
+            upper,
+            reference_fraction: rf,
+            observed_fraction: of,
+            relative_error: rel,
+        });
+    };
+
+    // Walk the separators, collapsing runs of equal values into one
+    // distinct separator whose cumulative mass covers every bucket ending
+    // at that value (mirrors `fractional_max_error`'s dedup).
+    let mut cum: u64 = 0;
+    let mut i = 0;
+    while i < separators.len() {
+        let d = separators[i];
+        while i < separators.len() && separators[i] == d {
+            cum += counts[i];
+            i += 1;
+        }
+        distinct.push(d);
+        let f_cum = cum as f64 / total;
+        let p_cum = count_le(observed_sorted, d) as f64 / no;
+        push_gap(Some(d), f_cum, p_cum, prev_f, prev_p);
+        prev_f = f_cum;
+        prev_p = p_cum;
+    }
+    // The +∞ gap: the last bucket's mass vs everything observed above the
+    // last distinct separator.
+    push_gap(None, 1.0, 1.0, prev_f, prev_p);
+
+    FractionalReport { distinct_separators: distinct, gaps, max }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +293,45 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_reference_rejected() {
         let _ = fractional_max_error(&[1], &[], &[1]);
+    }
+
+    #[test]
+    fn histogram_reference_matches_sample_reference() {
+        // For an exact (full-scan) histogram the stored bucket counts are
+        // the domain-rule counts of the build data, so using them as the
+        // reference must reproduce `fractional_max_error` exactly —
+        // including with duplicate separators from a heavy value.
+        let mut data = vec![7i64; 60];
+        data.extend(8..=47);
+        data.sort_unstable();
+        let h = EquiHeightHistogram::from_sorted(&data, 8);
+        let observed: Vec<i64> = (0..50).map(|i| i % 40 + 5).collect();
+        let mut observed = observed;
+        observed.sort_unstable();
+        let via_sample = fractional_max_error(h.separators(), &data, &observed);
+        let via_histogram = histogram_fractional_error(&h, &observed);
+        assert_eq!(via_histogram.distinct_separators, via_sample.distinct_separators);
+        assert_eq!(via_histogram.gaps.len(), via_sample.gaps.len());
+        for (a, b) in via_histogram.gaps.iter().zip(&via_sample.gaps) {
+            assert!((a.reference_fraction - b.reference_fraction).abs() < 1e-12);
+            assert!((a.observed_fraction - b.observed_fraction).abs() < 1e-12);
+        }
+        assert!((via_histogram.max - via_sample.max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_probe_passes_on_fresh_sample_fails_on_drift() {
+        // A histogram of uniform data probes clean against more uniform
+        // data and loudly fails once the distribution shifts.
+        let data: Vec<i64> = (0..10_000).collect();
+        let h = EquiHeightHistogram::from_sorted(&data, 20);
+        let same: Vec<i64> = (0..10_000).step_by(7).collect();
+        let rep = histogram_fractional_error(&h, &same);
+        assert!(rep.max < 0.05, "uniform probe error {}", rep.max);
+
+        let mut drifted: Vec<i64> = (0..10_000).map(|i| i % 500).collect();
+        drifted.sort_unstable();
+        let rep = histogram_fractional_error(&h, &drifted);
+        assert!(rep.max > 1.0, "drifted probe error {}", rep.max);
     }
 }

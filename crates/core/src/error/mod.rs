@@ -27,7 +27,9 @@ mod fractional;
 mod metrics;
 mod separation;
 
-pub use fractional::{fractional_max_error, FractionalGap, FractionalReport};
+pub use fractional::{
+    fractional_max_error, histogram_fractional_error, FractionalGap, FractionalReport,
+};
 pub use metrics::{summarize_counts, ErrorSummary};
 pub use separation::{delta_separation, is_delta_separated, SeparationReport};
 

@@ -46,10 +46,10 @@ pub enum CompressedRoute {
 
 impl CompressedRoute {
     /// Resolve `Auto` to a concrete route for this input: sample a
-    /// strided probe of ≤ [`ROUTE_PROBE`] values, sort it, and measure
+    /// strided probe of ≤ `ROUTE_PROBE` values, sort it, and measure
     /// the fraction of probe mass in values heavier than `m/k` — the
     /// probe-scaled image of the builder's own `n/k` threshold. Heavy
-    /// mass ≥ [`ROUTE_HEAVY_MASS`] routes to [`CompressedRoute::Sorted`].
+    /// mass ≥ `ROUTE_HEAVY_MASS` routes to [`CompressedRoute::Sorted`].
     ///
     /// Deterministic: the probe is strided, not sampled, so the same
     /// input always takes the same route.
@@ -219,7 +219,7 @@ impl CompressedHistogram {
     /// (property-tested), routed by shape ([`CompressedRoute::Auto`]).
     ///
     /// On light-tailed shapes the heavy values are found by **rank
-    /// probing** (see [`find_heavy_values`]) and verified with one exact
+    /// probing** (see `find_heavy_values`) and verified with one exact
     /// counting pass; the residual multiset is filtered unsorted and
     /// handed to [`EquiHeightHistogram::from_unsorted_threads`], which
     /// resolves its separator ranks through the selection/radix resolver.

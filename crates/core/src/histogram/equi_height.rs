@@ -46,7 +46,7 @@ pub enum ConstructionRoute {
     /// Comparison-based multi-select — the property-tested O(n log k)
     /// reference, partitions the input in place.
     Selection,
-    /// Radix-count rank resolution ([`radix`]) — ~3 linear passes,
+    /// Radix-count rank resolution (`radix`) — ~3 linear passes,
     /// skew-adaptive, never rearranges the input.
     Radix,
 }
@@ -167,7 +167,7 @@ impl EquiHeightHistogram {
     /// * large inputs with few separators (see
     ///   [`selection::selection_profitable`]) resolve the `k−1` separator
     ///   ranks and their `count_le` by radix counting
-    ///   ([`radix`]) — ~3 linear passes, no sort;
+    ///   (`radix`) — ~3 linear passes, no sort;
     /// * everything else is (parallel-)sorted and handed to
     ///   [`Self::from_sorted`].
     ///

@@ -1,6 +1,21 @@
 //! The statistics catalog: where `ANALYZE` output lives between queries.
+//!
+//! Two containers share one key scheme:
+//!
+//! * [`Catalog`] — the original single-threaded map, for tools and tests
+//!   that own their statistics outright.
+//! * [`StatsCatalog`] — the concurrent service catalog: lock-striped
+//!   stripes of `RwLock<HashMap<…, Arc<VersionedStats>>>`, with
+//!   epoch-stamped `Arc`-swap snapshots so estimation reads never block
+//!   on an in-flight ANALYZE (the expensive build happens entirely
+//!   outside any lock; the write lock is held only to swap a pointer).
 
+use std::borrow::Borrow;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use rand::Rng;
 
@@ -8,10 +23,78 @@ use crate::analyze::{analyze, AnalyzeError, AnalyzeOptions};
 use crate::stats::ColumnStatistics;
 use crate::table::Table;
 
+/// Owned map key: one (table, column) pair.
+///
+/// Lookups go through a borrowed `(&str, &str)` view (the private
+/// `KeyQuery` trait object) so `get("t", "c")` never allocates two
+/// `String`s just to hash them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnKey {
+    /// Owning table.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+/// Borrowed view of a (table, column) key. Implemented by [`ColumnKey`]
+/// and by `(&str, &str)`, with `Hash`/`Eq` defined on the trait object so
+/// both hash identically — the standard borrowed-pair-lookup idiom.
+trait KeyQuery {
+    fn table(&self) -> &str;
+    fn column(&self) -> &str;
+}
+
+impl KeyQuery for ColumnKey {
+    fn table(&self) -> &str {
+        &self.table
+    }
+    fn column(&self) -> &str {
+        &self.column
+    }
+}
+
+impl KeyQuery for (&str, &str) {
+    fn table(&self) -> &str {
+        self.0
+    }
+    fn column(&self) -> &str {
+        self.1
+    }
+}
+
+impl Hash for dyn KeyQuery + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.table().hash(state);
+        self.column().hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyQuery + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.table() == other.table() && self.column() == other.column()
+    }
+}
+
+impl Eq for dyn KeyQuery + '_ {}
+
+// `HashMap` requires key and query to hash identically; route the owned
+// key's `Hash` through the same trait-object impl the query uses.
+impl Hash for ColumnKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (self as &dyn KeyQuery).hash(state)
+    }
+}
+
+impl<'a> Borrow<dyn KeyQuery + 'a> for ColumnKey {
+    fn borrow(&self) -> &(dyn KeyQuery + 'a) {
+        self
+    }
+}
+
 /// An in-memory `sys.stats`: one [`ColumnStatistics`] per (table, column).
 #[derive(Debug, Default)]
 pub struct Catalog {
-    entries: HashMap<(String, String), ColumnStatistics>,
+    entries: HashMap<ColumnKey, ColumnStatistics>,
 }
 
 impl Catalog {
@@ -21,7 +104,9 @@ impl Catalog {
     }
 
     /// Run [`analyze`] and store the result, replacing any previous
-    /// statistics for the column. Returns a reference to the stored entry.
+    /// statistics for the column. Returns a reference to the stored entry
+    /// (from the insertion site — the map is hashed once, not three
+    /// times).
     pub fn analyze_and_store(
         &mut self,
         table: &Table,
@@ -30,20 +115,26 @@ impl Catalog {
         rng: &mut impl Rng,
     ) -> Result<&ColumnStatistics, AnalyzeError> {
         let stats = analyze(table, column, options, rng)?;
-        let key = (stats.table.clone(), stats.column.clone());
-        self.entries.insert(key.clone(), stats);
-        Ok(self.entries.get(&key).expect("just inserted"))
+        let key = ColumnKey { table: stats.table.clone(), column: stats.column.clone() };
+        Ok(match self.entries.entry(key) {
+            Entry::Occupied(mut slot) => {
+                slot.insert(stats);
+                slot.into_mut()
+            }
+            Entry::Vacant(slot) => slot.insert(stats),
+        })
     }
 
-    /// Fetch statistics, if present.
+    /// Fetch statistics, if present. Allocation-free: the borrowed pair
+    /// hashes directly against the owned keys.
     pub fn get(&self, table: &str, column: &str) -> Option<&ColumnStatistics> {
-        self.entries.get(&(table.to_string(), column.to_string()))
+        self.entries.get(&(table, column) as &dyn KeyQuery)
     }
 
     /// Drop statistics for one column (e.g. after heavy updates). Returns
     /// whether anything was removed.
     pub fn invalidate(&mut self, table: &str, column: &str) -> bool {
-        self.entries.remove(&(table.to_string(), column.to_string())).is_some()
+        self.entries.remove(&(table, column) as &dyn KeyQuery).is_some()
     }
 
     /// Number of stored statistics objects.
@@ -59,6 +150,187 @@ impl Catalog {
     /// Iterate all stored statistics.
     pub fn iter(&self) -> impl Iterator<Item = &ColumnStatistics> {
         self.entries.values()
+    }
+}
+
+/// One epoch-stamped statistics snapshot inside [`StatsCatalog`].
+///
+/// Immutable once installed (readers hold it by `Arc`, so a concurrent
+/// refresh can never mutate what an estimation call is reading — it
+/// installs a *new* snapshot and bumps the epoch). The only interior
+/// mutability is the probe watermark, which feeds staleness tracking and
+/// never affects estimates.
+#[derive(Debug)]
+pub struct VersionedStats {
+    /// The statistics themselves.
+    pub stats: ColumnStatistics,
+    /// Per-column version, strictly increasing across installs: a reader
+    /// that once saw epoch `e` for a column will never be handed `< e`
+    /// afterwards (pinned by the service torture test).
+    pub epoch: u64,
+    /// Clock reading (service ticks) when the snapshot was installed.
+    pub built_at: u64,
+    /// The column's modification counter at build time; staleness is the
+    /// table counter minus this.
+    pub mods_at_build: u64,
+    /// Highest modification count at which a cross-validation probe
+    /// re-certified this snapshot (starts at `mods_at_build`; a passed
+    /// probe advances it so staleness re-arms instead of re-probing every
+    /// tick).
+    mods_validated: AtomicU64,
+}
+
+impl VersionedStats {
+    /// The probe watermark: modifications already covered by the build or
+    /// a passed probe.
+    pub fn mods_validated(&self) -> u64 {
+        self.mods_validated.load(Ordering::Relaxed)
+    }
+
+    /// Advance the probe watermark after a passed cross-validation probe
+    /// (monotone; concurrent probes keep the largest value).
+    pub fn record_probe_pass(&self, mods_now: u64) {
+        self.mods_validated.fetch_max(mods_now, Ordering::Relaxed);
+    }
+}
+
+/// How many lock stripes [`StatsCatalog::new`] defaults to.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// The concurrent statistics catalog: a sharded, lock-striped map from
+/// (table, column) to [`Arc<VersionedStats>`].
+///
+/// **Snapshot contract.** Readers take a stripe's read lock only long
+/// enough to clone an `Arc`; the returned snapshot is immutable, so an
+/// estimation call never observes a partially-written entry. Writers
+/// build statistics entirely outside the lock ([`analyze`] can take
+/// milliseconds to seconds) and hold the write lock only to swap the
+/// `Arc` and bump the per-column epoch — readers on *other* columns in
+/// the same stripe block for that pointer swap at most.
+///
+/// **Epoch contract.** Each install stores `epoch = previous + 1`
+/// (starting at 1), under the stripe write lock, so per-column epochs are
+/// strictly increasing and a reader can assert freshness monotonicity.
+#[derive(Debug)]
+pub struct StatsCatalog {
+    stripes: Box<[Stripe]>,
+    /// Stripe-count mask (stripe count is a power of two).
+    mask: usize,
+}
+
+/// One lock stripe of the concurrent catalog.
+type Stripe = RwLock<HashMap<ColumnKey, Arc<VersionedStats>>>;
+
+impl Default for StatsCatalog {
+    fn default() -> Self {
+        Self::new(DEFAULT_STRIPES)
+    }
+}
+
+impl StatsCatalog {
+    /// A catalog with `stripes` lock stripes (rounded up to a power of
+    /// two, at least 1).
+    pub fn new(stripes: usize) -> Self {
+        let stripes = stripes.max(1).next_power_of_two();
+        Self {
+            stripes: (0..stripes).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: stripes - 1,
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe_of(&self, table: &str, column: &str) -> &Stripe {
+        // DefaultHasher::new() is fixed-keyed, so stripe assignment is
+        // stable across threads and runs within one build.
+        let mut hasher = DefaultHasher::new();
+        (&(table, column) as &dyn KeyQuery).hash(&mut hasher);
+        &self.stripes[hasher.finish() as usize & self.mask]
+    }
+
+    /// Fetch the current snapshot for a column, if any. Never blocks on
+    /// an in-flight ANALYZE; only on a concurrent pointer swap in the same
+    /// stripe.
+    pub fn get(&self, table: &str, column: &str) -> Option<Arc<VersionedStats>> {
+        let stripe = self.stripe_of(table, column).read().expect("stripe lock");
+        stripe.get(&(table, column) as &dyn KeyQuery).cloned()
+    }
+
+    /// Install freshly built statistics, returning the new snapshot. The
+    /// epoch is the previous snapshot's epoch plus one (1 for a first
+    /// install).
+    pub fn install(
+        &self,
+        stats: ColumnStatistics,
+        mods_at_build: u64,
+        built_at: u64,
+    ) -> Arc<VersionedStats> {
+        let key = ColumnKey { table: stats.table.clone(), column: stats.column.clone() };
+        let mut stripe = self.stripe_of(&key.table, &key.column).write().expect("stripe lock");
+        let epoch = stripe.get(&key).map_or(0, |prev| prev.epoch) + 1;
+        let snapshot = Arc::new(VersionedStats {
+            stats,
+            epoch,
+            built_at,
+            mods_at_build,
+            mods_validated: AtomicU64::new(mods_at_build),
+        });
+        stripe.insert(key, Arc::clone(&snapshot));
+        snapshot
+    }
+
+    /// Run [`analyze`] (outside any lock) and install the result.
+    ///
+    /// The modification watermark is read *before* the scan starts, so
+    /// churn arriving while ANALYZE runs still counts as staleness against
+    /// the new snapshot — the conservative reading.
+    pub fn analyze_and_store(
+        &self,
+        table: &Table,
+        column: &str,
+        options: &AnalyzeOptions,
+        rng: &mut impl Rng,
+        built_at: u64,
+    ) -> Result<Arc<VersionedStats>, AnalyzeError> {
+        let mods_at_build =
+            if table.column(column).is_some() { table.modifications(column) } else { 0 };
+        let stats = analyze(table, column, options, rng)?;
+        Ok(self.install(stats, mods_at_build, built_at))
+    }
+
+    /// Drop a column's statistics. Returns whether anything was removed.
+    pub fn invalidate(&self, table: &str, column: &str) -> bool {
+        let mut stripe = self.stripe_of(table, column).write().expect("stripe lock");
+        stripe.remove(&(table, column) as &dyn KeyQuery).is_some()
+    }
+
+    /// Number of stored snapshots (consistent per stripe, not globally —
+    /// concurrent installs may land between stripe reads).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().expect("stripe lock").len()).sum()
+    }
+
+    /// Whether the catalog holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every current snapshot, sorted by (table, column) so dumps are
+    /// deterministic whatever the stripe layout.
+    pub fn snapshot(&self) -> Vec<Arc<VersionedStats>> {
+        let mut all: Vec<Arc<VersionedStats>> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.read().expect("stripe lock").values().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by(|a, b| {
+            (a.stats.table.as_str(), a.stats.column.as_str())
+                .cmp(&(b.stats.table.as_str(), b.stats.column.as_str()))
+        });
+        all
     }
 }
 
@@ -123,5 +395,115 @@ mod tests {
         let err = cat.analyze_and_store(&t, "zzz", &AnalyzeOptions::full_scan(10), &mut rng);
         assert!(err.is_err());
         assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn borrowed_and_owned_keys_hash_identically() {
+        // The Borrow contract: ColumnKey and (&str, &str) must collide on
+        // the same map slot. Exercised indirectly by get(), but pin the
+        // hash equality itself so a refactor cannot silently split them.
+        let owned = ColumnKey { table: "orders".into(), column: "amount".into() };
+        let mut h1 = DefaultHasher::new();
+        owned.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        (&("orders", "amount") as &dyn KeyQuery).hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        let borrowed: &dyn KeyQuery = owned.borrow();
+        assert!(borrowed == &("orders", "amount") as &dyn KeyQuery);
+    }
+
+    #[test]
+    fn stats_catalog_epochs_increase_per_column() {
+        let t = demo_table(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let cat = StatsCatalog::new(4);
+        assert!(cat.is_empty());
+        let s1 = cat
+            .analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng, 100)
+            .expect("exists");
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.built_at, 100);
+        let s2 = cat
+            .analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng, 200)
+            .expect("exists");
+        assert_eq!(s2.epoch, 2);
+        let sb = cat
+            .analyze_and_store(&t, "b", &AnalyzeOptions::full_scan(10), &mut rng, 300)
+            .expect("exists");
+        assert_eq!(sb.epoch, 1, "epochs are per column");
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("t", "a").expect("stored").epoch, 2);
+
+        // The old snapshot is still intact for readers that hold it.
+        assert_eq!(s1.stats.num_rows, 5000);
+        assert!(cat.invalidate("t", "b"));
+        assert!(cat.get("t", "b").is_none());
+    }
+
+    #[test]
+    fn stats_catalog_tracks_modification_watermarks() {
+        let t = demo_table(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let cat = StatsCatalog::default();
+        t.record_modifications("a", 40);
+        let s = cat
+            .analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng, 1)
+            .expect("exists");
+        assert_eq!(s.mods_at_build, 40);
+        assert_eq!(s.mods_validated(), 40);
+        t.record_modifications("a", 25);
+        assert_eq!(t.modifications("a") - s.mods_validated(), 25, "staleness since build");
+        s.record_probe_pass(65);
+        assert_eq!(s.mods_validated(), 65);
+        s.record_probe_pass(50);
+        assert_eq!(s.mods_validated(), 65, "watermark is monotone");
+    }
+
+    #[test]
+    fn stats_catalog_snapshot_is_sorted_and_stripe_count_rounds() {
+        let cat = StatsCatalog::new(3);
+        assert_eq!(cat.num_stripes(), 4);
+        let t = demo_table(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        cat.analyze_and_store(&t, "b", &AnalyzeOptions::full_scan(5), &mut rng, 1).expect("exists");
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(5), &mut rng, 2).expect("exists");
+        let dump = cat.snapshot();
+        let names: Vec<&str> = dump.iter().map(|s| s.stats.column.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_readers_see_whole_snapshots() {
+        // 4 readers hammer get() while a writer reinstalls; every observed
+        // snapshot must be internally consistent and epochs monotone.
+        let t = demo_table(13);
+        let cat = StatsCatalog::new(2);
+        let mut rng = StdRng::seed_from_u64(14);
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng, 0)
+            .expect("exists");
+        std::thread::scope(|scope| {
+            let cat = &cat;
+            let t = &t;
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut last_epoch = 0;
+                    for _ in 0..500 {
+                        let s = cat.get("t", "a").expect("always present");
+                        assert!(s.epoch >= last_epoch, "stale epoch read");
+                        last_epoch = s.epoch;
+                        assert_eq!(s.stats.table, "t");
+                        assert_eq!(s.stats.histogram.total(), 5000);
+                    }
+                });
+            }
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(15);
+                for tick in 0..20 {
+                    cat.analyze_and_store(t, "a", &AnalyzeOptions::full_scan(10), &mut rng, tick)
+                        .expect("exists");
+                }
+            });
+        });
+        assert_eq!(cat.get("t", "a").expect("stored").epoch, 21);
     }
 }

@@ -55,7 +55,7 @@ pub use analyze::{
     analyze, analyze_resilient, analyze_resilient_traced, analyze_traced, AnalyzeError,
     AnalyzeMode, AnalyzeOptions, ResilientStatistics,
 };
-pub use catalog::Catalog;
+pub use catalog::{Catalog, ColumnKey, StatsCatalog, VersionedStats, DEFAULT_STRIPES};
 pub use predicate::Predicate;
 pub use samplehist_core::sampling::{DegradationPolicy, DegradationReport};
 pub use selectivity::{estimate_cardinality, estimate_equijoin, CardinalityEstimate};

@@ -1,9 +1,22 @@
 //! Tables: named collections of equal-length columns stored in heap
-//! files.
+//! files, with per-column modification counters feeding staleness
+//! tracking (the auto-update-stats deployment of Section 7: statistics
+//! are recomputed when enough of a column has churned, not on a timer).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::Rng;
 
 use samplehist_storage::{HeapFile, Layout, DEFAULT_PAGE_BYTES};
+
+/// Per-column modification counters, shared by every clone of a
+/// [`Table`] (an `Arc` inside, so the instance a mutator bumps is the
+/// instance the refresh scheduler reads).
+#[derive(Debug, Default)]
+struct ModCounters {
+    per_column: Vec<AtomicU64>,
+}
 
 /// One column: a name plus its paged storage.
 #[derive(Debug, Clone)]
@@ -32,6 +45,7 @@ pub struct Table {
     name: String,
     columns: Vec<Column>,
     num_rows: u64,
+    mods: Arc<ModCounters>,
 }
 
 impl Table {
@@ -58,6 +72,36 @@ impl Table {
     /// Look up a column by name.
     pub fn column(&self, name: &str) -> Option<&Column> {
         self.columns.iter().find(|c| c.name == name)
+    }
+
+    fn column_index(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no column {name:?} in table {:?}", self.name))
+    }
+
+    /// Record `count` inserts/updates/deletes against `column` since its
+    /// statistics were last built. Counters are monotone and shared by
+    /// every clone of this table, so a mutating workload thread and the
+    /// refresh scheduler observe the same tally; the catalog snapshots
+    /// the counter at ANALYZE time and staleness is the difference.
+    ///
+    /// # Panics
+    /// If the column does not exist (a caller bug, like [`analyze`]'s
+    /// unknown-column error — but mutation tracking has no error channel).
+    ///
+    /// [`analyze`]: crate::analyze
+    pub fn record_modifications(&self, column: &str, count: u64) {
+        self.mods.per_column[self.column_index(column)].fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Total modifications ever recorded against `column`.
+    ///
+    /// # Panics
+    /// If the column does not exist.
+    pub fn modifications(&self, column: &str) -> u64 {
+        self.mods.per_column[self.column_index(column)].load(Ordering::Relaxed)
     }
 }
 
@@ -117,10 +161,13 @@ impl TableBuilder {
     /// If no columns were added.
     pub fn build(self) -> Table {
         assert!(!self.columns.is_empty(), "a table needs at least one column");
+        let mods =
+            ModCounters { per_column: self.columns.iter().map(|_| AtomicU64::new(0)).collect() };
         Table {
             name: self.name,
             num_rows: self.num_rows.expect("columns imply a row count"),
             columns: self.columns,
+            mods: Arc::new(mods),
         }
     }
 }
@@ -145,6 +192,32 @@ mod tests {
         assert!(t.column("missing").is_none());
         assert_eq!(t.column("order_id").expect("exists").file().num_tuples(), 1000);
         assert_eq!(t.column("order_id").expect("exists").file().blocking_factor(), 128);
+    }
+
+    #[test]
+    fn modification_counters_are_shared_across_clones() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = Table::builder("t")
+            .column_with_blocking("a", vec![1, 2, 3], 2, Layout::Random, &mut rng)
+            .column_with_blocking("b", vec![4, 5, 6], 2, Layout::Random, &mut rng)
+            .build();
+        assert_eq!(t.modifications("a"), 0);
+        let clone = t.clone();
+        clone.record_modifications("a", 5);
+        t.record_modifications("a", 2);
+        t.record_modifications("b", 1);
+        assert_eq!(t.modifications("a"), 7, "clones share one counter");
+        assert_eq!(clone.modifications("b"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn modifications_on_unknown_column_panic() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = Table::builder("t")
+            .column_with_blocking("a", vec![1, 2, 3], 2, Layout::Random, &mut rng)
+            .build();
+        t.record_modifications("zzz", 1);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl LogHistogram {
     }
 
     /// Upper bound (exclusive) of the bucket containing the `q`-quantile
-    /// (`q` in [0,1]); `None` when empty. Log-bucketed, so the answer is
+    /// (`q` in `[0,1]`); `None` when empty. Log-bucketed, so the answer is
     /// correct to within 2×, which is what a latency summary needs.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {

@@ -43,6 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
+
+pub use pool::WorkerPool;
+
 use std::sync::OnceLock;
 use std::time::Instant;
 

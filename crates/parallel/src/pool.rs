@@ -1,0 +1,225 @@
+//! A small fixed-size worker pool for **long-lived background work**.
+//!
+//! The scoped primitives in the crate root cover fork/join data
+//! parallelism, where the caller blocks until every task finishes. A
+//! statistics *service* needs the opposite shape: a handful of named
+//! threads that outlive any one call, draining a shared queue of jobs
+//! (refreshes, probes) while foreground readers keep going. This module
+//! is the std-only slice of a thread-pool crate the workspace needs for
+//! that — submit `FnOnce` jobs, join on quiescence, shut down on drop.
+//!
+//! Determinism note: the pool makes **no ordering promises** between
+//! jobs; callers that need replayable schedules must make job *outputs*
+//! independent of execution order (the statistics service keys every
+//! refresh's RNG stream by (column, epoch) for exactly this reason) or
+//! run jobs on the caller's thread instead of a pool.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A boxed job.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Jobs handed to a worker and not yet finished.
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signaled when a job is enqueued or shutdown begins.
+    work_ready: Condvar,
+    /// Signaled when the pool goes quiescent (empty queue, nothing running).
+    quiescent: Condvar,
+}
+
+/// A fixed set of worker threads draining a FIFO job queue.
+///
+/// Jobs are `FnOnce() + Send`; panics in a job abort that worker's thread
+/// (and surface at [`WorkerPool::drop`] as a panic while joining), so jobs
+/// should catch their own failures and report them through their own
+/// channels — the statistics service reenqueues failed refreshes itself.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), in_flight: 0, shutdown: false }),
+            work_ready: Condvar::new(),
+            quiescent: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("samplehist-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        samplehist_obs::global().counter("parallel.pool.spawned_threads", threads as u64);
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job. Returns immediately; the job runs on some worker.
+    ///
+    /// # Panics
+    /// If called after the pool started shutting down (only possible from
+    /// inside a job racing `drop`, which is a caller bug).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        assert!(!state.shutdown, "submit on a shut-down pool");
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Jobs queued but not yet started (diagnostic snapshot).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Block until the queue is empty **and** no job is running.
+    ///
+    /// Quiescence is a snapshot: a job submitted by another thread right
+    /// after this returns is not waited for. Jobs submitted *by jobs*
+    /// (retry reenqueues) are waited for, since the submitting job is
+    /// still in flight when it enqueues.
+    pub fn wait_quiescent(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while !(state.queue.is_empty() && state.in_flight == 0) {
+            state = self.shared.quiescent.wait(state).expect("pool lock");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Finish every queued job, then join the workers.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("pool lock");
+            }
+        };
+        job();
+        let mut state = shared.state.lock().expect("pool lock");
+        state.in_flight -= 1;
+        if state.queue.is_empty() && state.in_flight == 0 {
+            shared.quiescent.notify_all();
+        }
+        // A finished job may have reenqueued work (retry with backoff);
+        // wake a sibling in case this worker exits first on shutdown.
+        if !state.queue.is_empty() {
+            shared.work_ready.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_job() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_quiescent();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn jobs_can_reenqueue_and_quiescence_waits_for_them() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let p = Arc::clone(&pool);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            let c2 = Arc::clone(&c);
+            p.submit(move || {
+                c2.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        pool.wait_quiescent();
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.store(7, Ordering::SeqCst);
+        });
+        pool.wait_quiescent();
+        assert_eq!(done.load(Ordering::SeqCst), 7);
+    }
+}

@@ -1,0 +1,86 @@
+//! Service time: real milliseconds or a replayable virtual counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The service's notion of "now", in **ticks**.
+///
+/// Concurrent deployments use [`Clock::real`], where a tick is a
+/// millisecond since service start. Deterministic replay uses
+/// [`Clock::virtual_at`], where time only moves when the driver calls
+/// [`Clock::advance`] — so `built_at` stamps, backoff deadlines and
+/// staleness decisions are pure functions of the driven schedule, not of
+/// the machine's load.
+#[derive(Debug)]
+pub enum Clock {
+    /// Wall-clock ticks (milliseconds since construction).
+    Real(Instant),
+    /// Driver-advanced ticks.
+    Virtual(AtomicU64),
+}
+
+impl Clock {
+    /// A wall clock starting at tick 0 now.
+    pub fn real() -> Self {
+        Clock::Real(Instant::now())
+    }
+
+    /// A virtual clock starting at `tick`.
+    pub fn virtual_at(tick: u64) -> Self {
+        Clock::Virtual(AtomicU64::new(tick))
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        match self {
+            Clock::Real(start) => start.elapsed().as_millis() as u64,
+            Clock::Virtual(tick) => tick.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Move a virtual clock forward by `ticks`, returning the new now.
+    ///
+    /// # Panics
+    /// On a real clock — wall time cannot be steered, and a caller that
+    /// tries was built for the wrong mode.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        match self {
+            Clock::Real(_) => panic!("advance() on a real clock"),
+            Clock::Virtual(tick) => tick.fetch_add(ticks, Ordering::Relaxed) + ticks,
+        }
+    }
+
+    /// Whether this is a virtual (driver-steered) clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_moves_only_when_advanced() {
+        let c = Clock::virtual_at(10);
+        assert!(c.is_virtual());
+        assert_eq!(c.now(), 10);
+        assert_eq!(c.advance(5), 15);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = Clock::real();
+        assert!(!c.is_virtual());
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance() on a real clock")]
+    fn real_clock_rejects_advance() {
+        Clock::real().advance(1);
+    }
+}

@@ -1,0 +1,42 @@
+//! The concurrent statistics service: keeping histograms fresh while
+//! queries keep running.
+//!
+//! The paper ends where production begins: Section 7 observes that its
+//! adaptive sampling was built for SQL Server's `AUTO UPDATE STATISTICS`,
+//! where statistics refresh happens *behind* a live workload, triggered
+//! by data churn rather than on a timer. This crate is that deployment
+//! surface for the workspace:
+//!
+//! * [`StatsService`] answers `estimate_cardinality` / `estimate_equijoin`
+//!   from a lock-striped [`StatsCatalog`], never blocking a read on an
+//!   in-flight ANALYZE (readers clone an `Arc` snapshot; refreshes build
+//!   off-lock and swap the pointer).
+//! * Staleness is driven by per-column modification counters
+//!   ([`Table::record_modifications`]) through a two-stage policy
+//!   ([`StalenessPolicy`]): enough churn makes a column *suspect*; a
+//!   cheap Theorem-7-style cross-validation probe over a small fresh
+//!   block sample then tests the stored histogram's error, and only a
+//!   **failed** probe pays for a full CVB re-ANALYZE.
+//! * Refreshes run on a [`RefreshScheduler`] (bounded queue, priority =
+//!   staleness × access frequency, retry with backoff) drained by a
+//!   [`WorkerPool`] in concurrent mode — or synchronously, on a virtual
+//!   clock with RNG streams keyed by column state, in deterministic mode,
+//!   where a run is bit-identical whatever the thread count.
+//!
+//! [`StatsCatalog`]: samplehist_engine::StatsCatalog
+//! [`Table::record_modifications`]: samplehist_engine::Table::record_modifications
+//! [`WorkerPool`]: samplehist_parallel::WorkerPool
+
+#![warn(missing_docs)]
+
+mod clock;
+mod rng_stream;
+mod scheduler;
+mod service;
+mod staleness;
+
+pub use clock::Clock;
+pub use rng_stream::rng_stream;
+pub use scheduler::{RefreshJob, RefreshScheduler, SubmitOutcome};
+pub use service::{RefreshTally, ServiceConfig, StatsService};
+pub use staleness::{run_probe, ProbeOutcome, StalenessPolicy};

@@ -1,0 +1,605 @@
+//! [`StatsService`]: the estimation front door plus its refresh machinery.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use samplehist_core::sampling::{DegradationPolicy, Reliable};
+use samplehist_engine::{
+    analyze_resilient, estimate_cardinality as cardinality_from_stats,
+    estimate_equijoin as equijoin_from_stats, AnalyzeError, AnalyzeOptions, CardinalityEstimate,
+    Predicate, StatsCatalog, Table, VersionedStats, DEFAULT_STRIPES,
+};
+use samplehist_parallel::WorkerPool;
+use samplehist_storage::{FaultInjectingStorage, FaultSpec};
+
+use crate::clock::Clock;
+use crate::rng_stream::rng_stream;
+use crate::scheduler::{RefreshJob, RefreshScheduler, SubmitOutcome};
+use crate::staleness::{run_probe, ProbeOutcome, StalenessPolicy};
+
+/// Everything tunable about a [`StatsService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Master seed; every refresh action derives its private RNG stream
+    /// from this (see [`rng_stream`]).
+    pub seed: u64,
+    /// Background refresh workers in concurrent mode (clamped to ≥ 1);
+    /// ignored in deterministic mode, where [`StatsService::drain`]
+    /// chooses the thread count per call.
+    pub refresh_threads: usize,
+    /// Deterministic mode: virtual clock, no background workers, refreshes
+    /// run only when [`StatsService::drain`] is called — and the outcome
+    /// is bit-identical whatever thread count the drain uses.
+    pub deterministic: bool,
+    /// How full refreshes acquire data (default: the paper's adaptive CVB).
+    pub analyze: AnalyzeOptions,
+    /// Staleness triggers and probe sizing.
+    pub staleness: StalenessPolicy,
+    /// Fault tolerance for refreshes over fault-injecting storage.
+    pub degradation: DegradationPolicy,
+    /// Refresh queue bound; beyond it submissions are rejected & counted.
+    pub queue_capacity: usize,
+    /// Attempts per refresh before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// First retry backoff in clock ticks; doubles per attempt.
+    pub backoff_base_ticks: u64,
+    /// Lock stripes in the underlying [`StatsCatalog`].
+    pub stripes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5a17_ab1e,
+            refresh_threads: samplehist_parallel::num_threads(),
+            deterministic: false,
+            analyze: AnalyzeOptions::adaptive(100),
+            staleness: StalenessPolicy::default(),
+            degradation: DegradationPolicy::default(),
+            queue_capacity: 1024,
+            max_attempts: 4,
+            backoff_base_ticks: 25,
+            stripes: DEFAULT_STRIPES,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The replayable configuration: virtual clock, drain-driven
+    /// refreshes, all randomness derived from `seed`.
+    pub fn deterministic(seed: u64) -> Self {
+        Self { seed, deterministic: true, ..Self::default() }
+    }
+}
+
+/// Cumulative refresh outcomes (monotone counters, snapshot via
+/// [`StatsService::tally`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshTally {
+    /// Refreshes that ended well (probe pass or successful re-ANALYZE).
+    pub completed: u64,
+    /// Refreshes abandoned after `max_attempts` failures.
+    pub failed: u64,
+    /// Cross-validation probes run.
+    pub probes: u64,
+    /// Probes the stored histogram survived (no re-ANALYZE needed).
+    pub probe_passes: u64,
+    /// Full CVB re-ANALYZE runs performed.
+    pub full_reanalyzes: u64,
+    /// Submissions dropped by the bounded queue.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct TableEntry {
+    table: Table,
+    fault: Option<FaultSpec>,
+    /// Per-column read counts — the "access frequency" half of refresh
+    /// priority.
+    access: HashMap<String, AtomicU64>,
+}
+
+/// A concurrent statistics service over a lock-striped [`StatsCatalog`].
+///
+/// Readers ([`estimate_cardinality`], [`estimate_equijoin`]) are served
+/// from immutable `Arc` snapshots and never block on an in-flight
+/// ANALYZE. Staleness (modification counters → probe → re-ANALYZE) feeds
+/// a bounded priority queue drained by background workers — or by
+/// explicit [`drain`] calls in deterministic mode.
+///
+/// Constructed as `Arc<StatsService>` ([`StatsService::new`]); background
+/// workers hold only a `Weak` reference between jobs, so dropping the
+/// last user `Arc` shuts the service down (drop it from outside a
+/// refresh worker — in practice: after [`wait_idle`]).
+///
+/// [`estimate_cardinality`]: StatsService::estimate_cardinality
+/// [`estimate_equijoin`]: StatsService::estimate_equijoin
+/// [`drain`]: StatsService::drain
+/// [`wait_idle`]: StatsService::wait_idle
+#[derive(Debug)]
+pub struct StatsService {
+    config: ServiceConfig,
+    catalog: StatsCatalog,
+    tables: RwLock<HashMap<String, Arc<TableEntry>>>,
+    scheduler: Arc<RefreshScheduler>,
+    clock: Arc<Clock>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    probes: AtomicU64,
+    probe_passes: AtomicU64,
+    full_reanalyzes: AtomicU64,
+    rejected: AtomicU64,
+    pool: Option<WorkerPool>,
+}
+
+impl StatsService {
+    /// Start a service. In concurrent mode this spawns
+    /// `config.refresh_threads` background workers immediately.
+    pub fn new(config: ServiceConfig) -> Arc<Self> {
+        let clock =
+            Arc::new(if config.deterministic { Clock::virtual_at(0) } else { Clock::real() });
+        let scheduler = Arc::new(RefreshScheduler::new(config.queue_capacity));
+        let pool = (!config.deterministic).then(|| WorkerPool::new(config.refresh_threads.max(1)));
+        let svc = Arc::new(Self {
+            catalog: StatsCatalog::new(config.stripes),
+            tables: RwLock::new(HashMap::new()),
+            scheduler,
+            clock,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            probe_passes: AtomicU64::new(0),
+            full_reanalyzes: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            pool,
+            config,
+        });
+        if let Some(pool) = &svc.pool {
+            for _ in 0..pool.threads() {
+                // Workers capture scheduler and clock strongly but the
+                // service only weakly: between jobs no worker pins the
+                // service alive, so the user's last `drop` ends it.
+                let weak = Arc::downgrade(&svc);
+                let scheduler = Arc::clone(&svc.scheduler);
+                let clock = Arc::clone(&svc.clock);
+                pool.submit(move || {
+                    while let Some(job) = scheduler.pop_blocking(&clock) {
+                        let live = weak.upgrade();
+                        if let Some(svc) = &live {
+                            svc.process(job);
+                        }
+                        scheduler.job_done();
+                        if live.is_none() {
+                            break;
+                        }
+                    }
+                });
+            }
+        }
+        svc
+    }
+
+    /// Register (or replace — data drift) a table, optionally behind a
+    /// fault-injecting storage schedule. Statistics already in the
+    /// catalog stay served until staleness catches up with the new data.
+    pub fn register_table(&self, table: Table, fault: Option<FaultSpec>) {
+        let access =
+            table.columns().iter().map(|c| (c.name().to_string(), AtomicU64::new(0))).collect();
+        let name = table.name().to_string();
+        let entry = Arc::new(TableEntry { table, fault, access });
+        self.tables.write().expect("tables lock").insert(name, entry);
+    }
+
+    /// A handle to a registered table. The clone shares the original's
+    /// modification counters, so workload threads can
+    /// [`record_modifications`] through it and the service sees them.
+    ///
+    /// [`record_modifications`]: Table::record_modifications
+    pub fn table(&self, name: &str) -> Option<Table> {
+        self.tables.read().expect("tables lock").get(name).map(|e| e.table.clone())
+    }
+
+    /// Record data churn against a registered column (the staleness
+    /// signal). Returns `false` if the table or column is unknown.
+    pub fn record_modifications(&self, table: &str, column: &str, count: u64) -> bool {
+        let Some(entry) = self.tables.read().expect("tables lock").get(table).cloned() else {
+            return false;
+        };
+        if entry.table.column(column).is_none() {
+            return false;
+        }
+        entry.table.record_modifications(column, count);
+        true
+    }
+
+    /// Estimate the cardinality of `predicate` on a column, from the
+    /// current snapshot. `None` means no statistics exist yet (a refresh
+    /// has been queued; a stale snapshot, by contrast, is still served).
+    pub fn estimate_cardinality(
+        &self,
+        table: &str,
+        column: &str,
+        predicate: &Predicate,
+    ) -> Option<CardinalityEstimate> {
+        let recorder = samplehist_obs::global();
+        let mut span = recorder.span("service.query");
+        span.field("op", "cardinality");
+        span.field("table", table.to_string());
+        span.field("column", column.to_string());
+        let snap = self.lookup(table, column);
+        span.field("hit", snap.is_some());
+        snap.map(|s| cardinality_from_stats(&s.stats, predicate))
+    }
+
+    /// Estimate the output cardinality of the equi-join
+    /// `t1.c1 = t2.c2`. `None` while either side lacks statistics (both
+    /// sides' refreshes get queued).
+    pub fn estimate_equijoin(&self, t1: &str, c1: &str, t2: &str, c2: &str) -> Option<f64> {
+        let recorder = samplehist_obs::global();
+        let mut span = recorder.span("service.query");
+        span.field("op", "equijoin");
+        span.field("table", t1.to_string());
+        span.field("column", c1.to_string());
+        let a = self.lookup(t1, c1);
+        let b = self.lookup(t2, c2);
+        span.field("hit", a.is_some() && b.is_some());
+        Some(equijoin_from_stats(&a?.stats, &b?.stats))
+    }
+
+    /// Build statistics for one column synchronously, bypassing the
+    /// queue — the warm-up path. Uses the same RNG-stream derivation as
+    /// background refreshes, so a deterministic run stays replayable.
+    pub fn refresh_now(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<Arc<VersionedStats>, AnalyzeError> {
+        let unknown =
+            || AnalyzeError::UnknownColumn { table: table.to_string(), column: column.to_string() };
+        let entry =
+            self.tables.read().expect("tables lock").get(table).cloned().ok_or_else(unknown)?;
+        if entry.table.column(column).is_none() {
+            return Err(unknown());
+        }
+        let snap = self.reanalyze(&entry, column)?;
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.full_reanalyzes.fetch_add(1, Ordering::Relaxed);
+        Ok(snap)
+    }
+
+    /// Process queued refreshes until none remain, on `threads` threads
+    /// (deterministic mode only). The virtual clock advances past backoff
+    /// deadlines, so retries resolve within the call. Coalescing
+    /// guarantees at most one job per column per batch; jobs touch
+    /// disjoint columns and derive private RNG streams, so the installed
+    /// catalog is bit-identical for any `threads`.
+    ///
+    /// # Panics
+    /// On a concurrent-mode service — its background workers own the
+    /// queue.
+    pub fn drain(&self, threads: usize) {
+        assert!(
+            self.pool.is_none(),
+            "drain() drives deterministic services; concurrent ones refresh in the background"
+        );
+        loop {
+            let now = self.clock.now();
+            let batch = self.scheduler.drain_ready(now);
+            if batch.is_empty() {
+                match self.scheduler.next_eligible_at() {
+                    Some(next) => {
+                        self.clock.advance(next.saturating_sub(now).max(1));
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            samplehist_parallel::par_map_threads(threads.max(1), &batch, |job| {
+                self.process(job.clone())
+            });
+        }
+    }
+
+    /// Block until the refresh queue is empty and no refresh is running.
+    /// In deterministic mode this drains on one thread instead.
+    pub fn wait_idle(&self) {
+        if self.pool.is_none() {
+            self.drain(1);
+            return;
+        }
+        while !self.scheduler.idle() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Reads answered from a snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads that found no statistics (refresh queued, `None` returned).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Reads that found a *suspect* snapshot (served anyway, refresh
+    /// queued).
+    pub fn stale_hits(&self) -> u64 {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative refresh outcomes.
+    pub fn tally(&self) -> RefreshTally {
+        RefreshTally {
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            probe_passes: self.probe_passes.load(Ordering::Relaxed),
+            full_reanalyzes: self.full_reanalyzes.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pending refresh jobs.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// The underlying catalog (snapshots, epochs).
+    pub fn catalog(&self) -> &StatsCatalog {
+        &self.catalog
+    }
+
+    /// The service clock (virtual in deterministic mode — advance it to
+    /// drive backoff schedules).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Canonical text dump of every snapshot (sorted by table, column) —
+    /// two runs are equivalent iff their dumps are byte-identical, which
+    /// is exactly what the determinism tests compare.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for snap in self.catalog.snapshot() {
+            let s = &snap.stats;
+            writeln!(
+                out,
+                "{}.{} epoch={} built_at={} mods_at_build={} rows={} sample={} method={} \
+                 distinct={:?} density={:?} separators={:?} counts={:?}",
+                s.table,
+                s.column,
+                snap.epoch,
+                snap.built_at,
+                snap.mods_at_build,
+                s.num_rows,
+                s.sample_size,
+                s.method,
+                s.distinct_estimate,
+                s.density,
+                s.histogram.separators(),
+                s.histogram.counts(),
+            )
+            .expect("write to String");
+        }
+        out
+    }
+
+    /// The read path shared by both estimators: bump access, serve the
+    /// snapshot, queue a refresh on miss or suspicion.
+    fn lookup(&self, table: &str, column: &str) -> Option<Arc<VersionedStats>> {
+        let entry = self.tables.read().expect("tables lock").get(table).cloned()?;
+        let accesses = entry.access.get(column)?.fetch_add(1, Ordering::Relaxed) + 1;
+        let recorder = samplehist_obs::global();
+        match self.catalog.get(table, column) {
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                recorder.counter("service.query.miss", 1);
+                // Nothing to serve stale: a miss outranks any staleness.
+                self.request_refresh(table, column, f64::INFINITY, 0, self.clock.now());
+                None
+            }
+            Some(snap) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                recorder.counter("service.query.hit", 1);
+                let mods_since =
+                    entry.table.modifications(column).saturating_sub(snap.mods_validated());
+                if self.config.staleness.is_suspect(entry.table.num_rows(), mods_since) {
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                    recorder.counter("service.query.stale", 1);
+                    let staleness = mods_since as f64 / entry.table.num_rows().max(1) as f64;
+                    self.request_refresh(
+                        table,
+                        column,
+                        staleness * (1.0 + accesses as f64),
+                        0,
+                        self.clock.now(),
+                    );
+                }
+                Some(snap)
+            }
+        }
+    }
+
+    fn request_refresh(
+        &self,
+        table: &str,
+        column: &str,
+        priority: f64,
+        attempt: u32,
+        not_before: u64,
+    ) {
+        let outcome = self.scheduler.submit(RefreshJob {
+            table: table.to_string(),
+            column: column.to_string(),
+            priority,
+            not_before,
+            attempt,
+        });
+        let recorder = samplehist_obs::global();
+        if outcome == SubmitOutcome::Rejected {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            recorder.counter("service.refresh.rejected", 1);
+        }
+        recorder.gauge("service.queue_depth", self.scheduler.len() as f64);
+    }
+
+    /// One refresh, end to end: probe if a snapshot exists, re-ANALYZE on
+    /// probe failure or miss, retry with backoff on errors.
+    fn process(&self, job: RefreshJob) {
+        let recorder = samplehist_obs::global();
+        let mut span = recorder.span("service.refresh");
+        span.field("table", job.table.clone());
+        span.field("column", job.column.clone());
+        span.field("attempt", job.attempt as u64);
+        let entry = self.tables.read().expect("tables lock").get(&job.table).cloned();
+        let Some(entry) = entry else {
+            span.field("outcome", "table_gone");
+            return;
+        };
+        if entry.table.column(&job.column).is_none() {
+            span.field("outcome", "column_gone");
+            return;
+        }
+
+        if let Some(snap) = self.catalog.get(&job.table, &job.column) {
+            let mods_now = entry.table.modifications(&job.column);
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            recorder.counter("service.refresh.probe", 1);
+            let mut rng = rng_stream(
+                self.config.seed,
+                &job.table,
+                &job.column,
+                "probe",
+                snap.epoch,
+                snap.mods_validated(),
+            );
+            let file = entry.table.column(&job.column).expect("checked above").file();
+            let outcome = match &entry.fault {
+                Some(spec) => run_probe(
+                    &FaultInjectingStorage::new(file, *spec),
+                    &snap.stats.histogram,
+                    &self.config.staleness,
+                    &mut rng,
+                ),
+                None => run_probe(
+                    &Reliable(file),
+                    &snap.stats.histogram,
+                    &self.config.staleness,
+                    &mut rng,
+                ),
+            };
+            match outcome {
+                ProbeOutcome::Passed { observed, .. } => {
+                    // Still good: re-arm staleness at today's counter and
+                    // keep serving the stored histogram.
+                    snap.record_probe_pass(mods_now);
+                    self.probe_passes.fetch_add(1, Ordering::Relaxed);
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    recorder.counter("service.refresh.probe.pass", 1);
+                    recorder.counter("service.refresh.completed", 1);
+                    span.field("outcome", "probe_pass");
+                    span.field("probe_error", observed);
+                    recorder.gauge("service.queue_depth", self.scheduler.len() as f64);
+                    return;
+                }
+                ProbeOutcome::Failed { observed, threshold, .. } => {
+                    recorder.counter("service.refresh.probe.fail", 1);
+                    span.field("probe_error", observed);
+                    span.field("probe_threshold", threshold);
+                    // Fall through: the histogram drifted, pay for CVB.
+                }
+                ProbeOutcome::Unreadable { blocks_tried } => {
+                    span.field("outcome", "probe_unreadable");
+                    span.field("blocks_tried", blocks_tried as u64);
+                    self.retry_or_fail(job);
+                    return;
+                }
+            }
+        }
+
+        match self.reanalyze(&entry, &job.column) {
+            Ok(snap) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                self.full_reanalyzes.fetch_add(1, Ordering::Relaxed);
+                recorder.counter("service.refresh.completed", 1);
+                span.field("outcome", "reanalyzed");
+                span.field("epoch", snap.epoch);
+                recorder.gauge("service.queue_depth", self.scheduler.len() as f64);
+            }
+            Err(err) => {
+                span.field("outcome", "error");
+                span.field("error", err.to_string());
+                self.retry_or_fail(job);
+            }
+        }
+    }
+
+    /// Full ANALYZE outside any catalog lock, then an `Arc`-swap install.
+    fn reanalyze(
+        &self,
+        entry: &TableEntry,
+        column: &str,
+    ) -> Result<Arc<VersionedStats>, AnalyzeError> {
+        let table_name = entry.table.name();
+        // Watermark *before* the scan: churn arriving mid-ANALYZE counts
+        // as staleness against the new snapshot.
+        let mods_at_build = entry.table.modifications(column);
+        let next_epoch = self.catalog.get(table_name, column).map_or(0, |s| s.epoch) + 1;
+        let mut rng = rng_stream(self.config.seed, table_name, column, "refresh", next_epoch, 0);
+        let file = entry.table.column(column).expect("caller checked").file();
+        let result = match &entry.fault {
+            Some(spec) => analyze_resilient(
+                table_name,
+                column,
+                &FaultInjectingStorage::new(file, *spec),
+                &self.config.analyze,
+                &self.config.degradation,
+                &mut rng,
+            )?,
+            None => analyze_resilient(
+                table_name,
+                column,
+                &Reliable(file),
+                &self.config.analyze,
+                &self.config.degradation,
+                &mut rng,
+            )?,
+        };
+        Ok(self.catalog.install(result.stats, mods_at_build, self.clock.now()))
+    }
+
+    fn retry_or_fail(&self, mut job: RefreshJob) {
+        job.attempt += 1;
+        if job.attempt >= self.config.max_attempts {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            samplehist_obs::global().counter("service.refresh.failed", 1);
+            return;
+        }
+        let backoff = self.config.backoff_base_ticks << (job.attempt - 1).min(16);
+        let not_before = self.clock.now() + backoff;
+        self.request_refresh(&job.table, &job.column, job.priority, job.attempt, not_before);
+    }
+}
+
+impl Drop for StatsService {
+    /// Wake blocked workers so the pool (dropped right after, draining
+    /// its queue) can join them.
+    fn drop(&mut self) {
+        self.scheduler.shutdown();
+    }
+}
