@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use samplehist_engine::{AnalyzeOptions, Predicate, Table};
+use samplehist_engine::{
+    analyze, estimate_cardinality, estimate_cardinality_scan, AnalyzeOptions, Predicate, Table,
+};
 use samplehist_obs::json::{self, Json};
 use samplehist_service::{ServiceConfig, StalenessPolicy, StatsService};
 use samplehist_storage::{FaultSpec, Layout};
@@ -166,6 +168,135 @@ fn run_workload(
     (svc, WorkloadResult { queries, latencies_us, mutations }, elapsed)
 }
 
+// -- lookup-heavy phase -------------------------------------------------
+
+/// Buckets for the lookup phase: wide enough that the scan path's
+/// per-call `O(k)` cumulative rebuild is load-bearing.
+const LOOKUP_BUCKETS: usize = 600;
+/// Estimation calls per timed repetition.
+const LOOKUP_PROBES: usize = 16_384;
+/// Timed repetitions; the minimum is reported.
+const LOOKUP_REPS: usize = 3;
+
+struct LookupResult {
+    indexed_ns_per_op: f64,
+    scan_ns_per_op: f64,
+    qerr: [f64; 4], // p50, p95, p99, max
+}
+
+/// q-error with the standard max(·, 1) clamp, so zero-row truths and
+/// estimates do not blow the ratio up to infinity.
+fn qerror(est: f64, truth: f64) -> f64 {
+    let e = est.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+fn percentile_f64(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Serve-time lookup microbenchmark: the same `estimate_cardinality`
+/// entry point the service routes through, once over the prebuilt
+/// bucket index and once over the legacy bisect/rebuild path, on a
+/// duplicate-heavy column analyzed at `LOOKUP_BUCKETS` buckets with a
+/// compressed side table. Every probe is asserted bit-identical across
+/// the two routes before anything is timed, and q-error percentiles
+/// against exact cardinalities are reported alongside the ns/op.
+fn run_lookup_phase(n: usize) -> LookupResult {
+    let mut rng = StdRng::seed_from_u64(0x10CA);
+    // One third heavy duplicates over a small domain (compressed side
+    // table), two thirds scattered (residual interpolation).
+    let values: Vec<i64> = (0..n as i64)
+        .map(|i| if i % 3 == 0 { i % 601 } else { i.wrapping_mul(2_654_435_761) % 500_000 })
+        .collect();
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let table = Table::builder("lookup")
+        .column_with_blocking("c", values, 50, Layout::Random, &mut rng)
+        .build();
+    let stats = analyze(
+        &table,
+        "c",
+        &AnalyzeOptions::full_scan(LOOKUP_BUCKETS).with_compressed(),
+        &mut rng,
+    )
+    .expect("lookup ANALYZE");
+    // What `StatsCatalog::install` does before publishing: readers never
+    // pay index construction.
+    stats.index();
+
+    let mut prng = StdRng::seed_from_u64(0x9E37);
+    let predicates: Vec<Predicate> = (0..LOOKUP_PROBES)
+        .map(|_| {
+            let x: i64 = prng.gen_range(-100..500_100);
+            match prng.gen_range(0..4) {
+                0 => Predicate::Eq(x % 700),
+                1 => Predicate::Le(x),
+                2 => Predicate::Gt(x),
+                _ => Predicate::Between { low: x, high: x + prng.gen_range(0..10_000i64) },
+            }
+        })
+        .collect();
+
+    // Correctness pass: the fast path must be bit-identical to the scan
+    // path on every probe, and q-errors are collected against exact
+    // cardinalities on the sorted data.
+    let mut qs: Vec<f64> = predicates
+        .iter()
+        .map(|p| {
+            let fast = estimate_cardinality(&stats, p);
+            let scan = estimate_cardinality_scan(&stats, p);
+            assert_eq!(
+                fast.rows.to_bits(),
+                scan.rows.to_bits(),
+                "{p}: indexed {} vs scan {}",
+                fast.rows,
+                scan.rows
+            );
+            qerror(fast.rows, p.true_cardinality(&sorted) as f64)
+        })
+        .collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+
+    let time_route = |f: &dyn Fn(&Predicate) -> f64| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..LOOKUP_REPS {
+            let started = Instant::now();
+            let mut acc = 0.0;
+            for p in &predicates {
+                acc += f(p);
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            best = best.min(elapsed);
+        }
+        best * 1e9 / predicates.len() as f64
+    };
+    let indexed_ns_per_op = time_route(&|p| estimate_cardinality(&stats, p).rows);
+    let scan_ns_per_op = time_route(&|p| estimate_cardinality_scan(&stats, p).rows);
+    assert!(
+        indexed_ns_per_op <= scan_ns_per_op,
+        "indexed lookups ({indexed_ns_per_op:.1} ns/op) slower than scan \
+         ({scan_ns_per_op:.1} ns/op) at k = {LOOKUP_BUCKETS}"
+    );
+
+    LookupResult {
+        indexed_ns_per_op,
+        scan_ns_per_op,
+        qerr: [
+            percentile_f64(&qs, 0.50),
+            percentile_f64(&qs, 0.95),
+            percentile_f64(&qs, 0.99),
+            qs.last().copied().unwrap_or(0.0),
+        ],
+    }
+}
+
 // -- `--check` ----------------------------------------------------------
 
 fn require_u64(obj: &Json, key: &str) -> Result<u64, String> {
@@ -233,6 +364,35 @@ fn check_file(path: &str) -> Result<(), String> {
         return Err("workload recorded no mutations — staleness was never exercised".into());
     }
 
+    let lk = require_section(&obj, "lookup")?;
+    if require_u64(lk, "buckets")? == 0 || require_u64(lk, "probes")? == 0 {
+        return Err("lookup phase ran no probes".into());
+    }
+    let require_pos = |key: &str| -> Result<f64, String> {
+        match lk.get(key).and_then(Json::as_f64) {
+            Some(v) if v > 0.0 => Ok(v),
+            _ => Err(format!("missing/non-positive lookup {key:?}")),
+        }
+    };
+    let indexed = require_pos("indexed_ns_per_op")?;
+    let scan = require_pos("scan_ns_per_op")?;
+    if indexed > scan {
+        return Err(format!(
+            "indexed lookups ({indexed:.1} ns/op) slower than scan ({scan:.1} ns/op)"
+        ));
+    }
+    let qe = require_section(lk, "qerror")?;
+    let mut prev = 1.0;
+    for key in ["p50", "p95", "p99", "max"] {
+        match qe.get(key).and_then(Json::as_f64) {
+            Some(v) if v >= prev => prev = v,
+            Some(v) => {
+                return Err(format!("lookup q-error {key} = {v} below {prev} (not monotone)"))
+            }
+            None => return Err(format!("missing lookup qerror {key:?}")),
+        }
+    }
+
     let r = require_section(&obj, "refreshes")?;
     let completed = require_u64(r, "completed")?;
     let probes = require_u64(r, "probes")?;
@@ -291,6 +451,18 @@ fn main() -> ExitCode {
 
     let (svc, result, elapsed) = run_workload(n, millis, refresh_threads);
     let tally = svc.tally();
+    let lookup = run_lookup_phase(n);
+    println!(
+        "lookup phase (k = {LOOKUP_BUCKETS}, {LOOKUP_PROBES} probes): indexed {:.1} ns/op vs \
+         scan {:.1} ns/op ({:.1}x); q-error p50 {:.3}, p95 {:.3}, p99 {:.3}, max {:.3}",
+        lookup.indexed_ns_per_op,
+        lookup.scan_ns_per_op,
+        lookup.scan_ns_per_op / lookup.indexed_ns_per_op,
+        lookup.qerr[0],
+        lookup.qerr[1],
+        lookup.qerr[2],
+        lookup.qerr[3],
+    );
     let mut lat = result.latencies_us;
     lat.sort_unstable();
     let throughput = result.queries as f64 / elapsed;
@@ -336,6 +508,19 @@ fn main() -> ExitCode {
             "  \"mutations\": {{\n",
             "    \"total\": {muts}\n",
             "  }},\n",
+            "  \"lookup\": {{\n",
+            "    \"buckets\": {lk_k},\n",
+            "    \"probes\": {lk_probes},\n",
+            "    \"indexed_ns_per_op\": {lk_idx:.2},\n",
+            "    \"scan_ns_per_op\": {lk_scan:.2},\n",
+            "    \"speedup\": {lk_speedup:.2},\n",
+            "    \"qerror\": {{\n",
+            "      \"p50\": {lk_q50:.4},\n",
+            "      \"p95\": {lk_q95:.4},\n",
+            "      \"p99\": {lk_q99:.4},\n",
+            "      \"max\": {lk_qmax:.4}\n",
+            "    }}\n",
+            "  }},\n",
             "  \"refreshes\": {{\n",
             "    \"completed\": {completed},\n",
             "    \"failed\": {failed},\n",
@@ -362,6 +547,15 @@ fn main() -> ExitCode {
         p99 = percentile_us(&lat, 0.99),
         pmax = lat.last().copied().unwrap_or(0),
         muts = result.mutations,
+        lk_k = LOOKUP_BUCKETS,
+        lk_probes = LOOKUP_PROBES,
+        lk_idx = lookup.indexed_ns_per_op,
+        lk_scan = lookup.scan_ns_per_op,
+        lk_speedup = lookup.scan_ns_per_op / lookup.indexed_ns_per_op,
+        lk_q50 = lookup.qerr[0],
+        lk_q95 = lookup.qerr[1],
+        lk_q99 = lookup.qerr[2],
+        lk_qmax = lookup.qerr[3],
         completed = tally.completed,
         failed = tally.failed,
         probes = tally.probes,

@@ -48,22 +48,31 @@ impl<'a> RangeEstimator<'a> {
         }
         let j = h.bucket_of(t);
         let below = if j == 0 { 0 } else { self.cumulative[j - 1] } as f64;
-        let lower = if j == 0 {
-            h.min_value() - 1 // exclusive lower edge of the first bucket
+        // Edge arithmetic in i128: the first bucket's `min − 1` anchor
+        // underflows i64 when the column minimum is `i64::MIN`, and a
+        // full-span bucket's width `upper − lower` can exceed i64 range.
+        // Where i64 sufficed the widened ops produce the same integers,
+        // hence bit-identical fractions.
+        let lower: i128 = if j == 0 {
+            h.min_value() as i128 - 1 // exclusive lower edge of the first bucket
         } else {
-            h.separators()[j - 1]
+            h.separators()[j - 1] as i128
         };
-        let upper = if j == h.num_buckets() - 1 { h.max_value() } else { h.separators()[j] };
+        let upper: i128 = if j == h.num_buckets() - 1 {
+            h.max_value() as i128
+        } else {
+            h.separators()[j] as i128
+        };
         let fraction = if upper <= lower {
             // Degenerate bucket (single duplicated value): all-or-nothing.
-            if t >= upper {
+            if t as i128 >= upper {
                 1.0
             } else {
                 0.0
             }
         } else {
             // Continuous-uniform assumption over the half-open (lower, upper].
-            ((t - lower) as f64 / (upper - lower) as f64).clamp(0.0, 1.0)
+            ((t as i128 - lower) as f64 / (upper - lower) as f64).clamp(0.0, 1.0)
         };
         below + fraction * h.counts()[j] as f64
     }

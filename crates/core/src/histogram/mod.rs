@@ -18,16 +18,18 @@
 //!   duplicate-heavy columns: values with multiplicity above `n/k` are
 //!   stored exactly, the residue gets an equi-height histogram.
 //!
-//! Two supporting pieces round the module out: [`EquiWidthHistogram`],
+//! Three supporting pieces round the module out: [`EquiWidthHistogram`],
 //! the classical baseline equi-height displaced (kept for the ablation
-//! benches), and [`codec`], the single-page binary persistence format a
-//! catalog stores histograms in.
+//! benches), [`codec`], the single-page binary persistence format a
+//! catalog stores histograms in, and [`index`], the serve-time branchless
+//! bucket indexes estimation routes through once statistics are built.
 
 mod builder;
 pub mod codec;
 mod compressed;
 mod equi_height;
 mod equi_width;
+pub mod index;
 mod maintained;
 mod radix;
 pub mod selection;
@@ -36,6 +38,7 @@ pub use builder::HistogramBuilder;
 pub use compressed::{CompressedHistogram, CompressedRoute};
 pub use equi_height::{BucketRef, ConstructionRoute, EquiHeightHistogram};
 pub use equi_width::EquiWidthHistogram;
+pub use index::{BucketIndex, CompressedIndex};
 pub use maintained::MaintainedHistogram;
 pub use selection::{bucket_counts_unsorted, select_separators, selection_profitable};
 

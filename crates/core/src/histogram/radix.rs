@@ -536,21 +536,62 @@ fn resolve_exact<C: Copy + Into<u64>>(ranks: &[usize], min: i64, counts: &[C]) -
     out
 }
 
+/// Lanes per unrolled step of the counting kernels, matching
+/// [`selection`]'s `min_max` accumulator width.
+const COUNT_LANES: usize = 8;
+
+/// Eight-lane unrolled tally with u32 counters: the slice-index math
+/// (`abs_diff` — pure data-parallel arithmetic) is lifted into a
+/// fixed-width lane loop the compiler can vectorize, leaving only the
+/// scatter increments scalar. Same template as `selection::min_max`.
+#[inline]
+fn count_exact32_chunk(values: &[i64], min: i64, counts: &mut [u32]) {
+    let mut lanes = [0usize; COUNT_LANES];
+    let mut chunks = values.chunks_exact(COUNT_LANES);
+    for chunk in &mut chunks {
+        for i in 0..COUNT_LANES {
+            lanes[i] = chunk[i].abs_diff(min) as usize;
+        }
+        for &lane in &lanes {
+            counts[lane] += 1;
+        }
+    }
+    for &v in chunks.remainder() {
+        counts[v.abs_diff(min) as usize] += 1;
+    }
+}
+
+/// Eight-lane unrolled tally with u64 counters and a shifted slice index;
+/// see [`count_exact32_chunk`] for the kernel shape.
+#[inline]
+fn count_slices_chunk(values: &[i64], min: i64, shift: u32, counts: &mut [u64]) {
+    let mut lanes = [0usize; COUNT_LANES];
+    let mut chunks = values.chunks_exact(COUNT_LANES);
+    for chunk in &mut chunks {
+        for i in 0..COUNT_LANES {
+            lanes[i] = slice_of(chunk[i], min, shift);
+        }
+        for &lane in &lanes {
+            counts[lane] += 1;
+        }
+    }
+    for &v in chunks.remainder() {
+        counts[slice_of(v, min, shift)] += 1;
+    }
+}
+
 /// Exact counting pass with u32 counters (`shift == 0`, `n < u32::MAX`).
 fn count_exact32_into(values: &[i64], min: i64, slices: usize, threads: usize, out: &mut Vec<u32>) {
+    samplehist_obs::global().counter("radix.count.kernel_lanes8", 1);
     out.clear();
     out.resize(slices, 0);
     if threads <= 1 || values.len() < PAR_COUNT_MIN {
-        for &v in values {
-            out[v.abs_diff(min) as usize] += 1;
-        }
+        count_exact32_chunk(values, min, out);
         return;
     }
     let partials = parallel::par_chunks_map(threads, values, threads, |chunk: &[i64]| {
         let mut counts = vec![0u32; slices];
-        for &v in chunk {
-            counts[v.abs_diff(min) as usize] += 1;
-        }
+        count_exact32_chunk(chunk, min, &mut counts);
         counts
     });
     for partial in partials {
@@ -568,19 +609,16 @@ fn count_slices_into(
     threads: usize,
     out: &mut Vec<u64>,
 ) {
+    samplehist_obs::global().counter("radix.count.kernel_lanes8", 1);
     out.clear();
     out.resize(slices, 0);
     if threads <= 1 || values.len() < PAR_COUNT_MIN {
-        for &v in values {
-            out[slice_of(v, min, shift)] += 1;
-        }
+        count_slices_chunk(values, min, shift, out);
         return;
     }
     let partials = parallel::par_chunks_map(threads, values, threads, |chunk: &[i64]| {
         let mut counts = vec![0u64; slices];
-        for &v in chunk {
-            counts[slice_of(v, min, shift)] += 1;
-        }
+        count_slices_chunk(chunk, min, shift, &mut counts);
         counts
     });
     for partial in partials {

@@ -372,6 +372,7 @@ fn finish_statistics(
         sample_size: sample.len() as u64,
         method,
         io,
+        index: crate::stats::CachedIndex::default(),
     }
 }
 

@@ -268,6 +268,12 @@ impl StatsCatalog {
         mods_at_build: u64,
         built_at: u64,
     ) -> Arc<VersionedStats> {
+        // Force-build the serve-time index before taking the stripe
+        // lock: readers of the published snapshot get the fast path
+        // without ever paying construction, and the write lock stays
+        // pointer-swap cheap. The cell rides along with the move into
+        // the Arc.
+        stats.index();
         let key = ColumnKey { table: stats.table.clone(), column: stats.column.clone() };
         let mut stripe = self.stripe_of(&key.table, &key.column).write().expect("stripe lock");
         let epoch = stripe.get(&key).map_or(0, |prev| prev.epoch) + 1;
@@ -438,6 +444,20 @@ mod tests {
         assert_eq!(s1.stats.num_rows, 5000);
         assert!(cat.invalidate("t", "b"));
         assert!(cat.get("t", "b").is_none());
+    }
+
+    #[test]
+    fn install_prebuilds_the_serve_time_index() {
+        let t = demo_table(20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let cat = StatsCatalog::default();
+        cat.analyze_and_store(&t, "a", &AnalyzeOptions::full_scan(10), &mut rng, 1)
+            .expect("exists");
+        let snap = cat.get("t", "a").expect("stored");
+        assert!(
+            snap.stats.index.is_built(),
+            "readers must never pay index construction after install"
+        );
     }
 
     #[test]

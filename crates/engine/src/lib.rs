@@ -58,6 +58,8 @@ pub use analyze::{
 pub use catalog::{Catalog, ColumnKey, StatsCatalog, VersionedStats, DEFAULT_STRIPES};
 pub use predicate::Predicate;
 pub use samplehist_core::sampling::{DegradationPolicy, DegradationReport};
-pub use selectivity::{estimate_cardinality, estimate_equijoin, CardinalityEstimate};
-pub use stats::ColumnStatistics;
+pub use selectivity::{
+    estimate_cardinality, estimate_cardinality_scan, estimate_equijoin, CardinalityEstimate,
+};
+pub use stats::{CachedIndex, ColumnStatistics, StatsIndex};
 pub use table::{Column, Table, TableBuilder};

@@ -51,8 +51,8 @@ pub fn estimate_equijoin(a: &ColumnStatistics, b: &ColumnStatistics) -> f64 {
     bounds.sort_unstable();
     bounds.dedup();
 
-    let est_a = RangeEstimator::new(&a.histogram);
-    let est_b = RangeEstimator::new(&b.histogram);
+    let est_a = &a.index().histogram;
+    let est_b = &b.index().histogram;
     let (da, db) = (a.distinct_estimate.max(1.0), b.distinct_estimate.max(1.0));
     let (na, nb) = (a.num_rows as f64, b.num_rows as f64);
 
@@ -88,12 +88,60 @@ pub fn estimate_cardinality(
     predicate: &Predicate,
 ) -> CardinalityEstimate {
     let n = stats.num_rows as f64;
+    let index = stats.index();
+    let rows = match predicate.as_range() {
+        None => 0.0,
+        Some((lo, hi)) => match (&index.compressed, predicate) {
+            // A compressed histogram answers equality on a heavy value
+            // exactly and keeps heavy mass out of range interpolation;
+            // prefer it whenever ANALYZE built one. A single descent
+            // both classifies the constant (heavy/light) and produces
+            // the estimate — the old path bisected the side table for
+            // membership and then again inside `estimate_eq`.
+            (Some(c), Predicate::Eq(v)) => {
+                let h = &stats.histogram;
+                if *v < h.min_value() || *v > h.max_value() {
+                    0.0
+                } else {
+                    let (est, heavy) = c.estimate_eq_classified(*v);
+                    if heavy {
+                        est
+                    } else {
+                        est.max(stats.rows_per_distinct())
+                    }
+                }
+            }
+            (Some(c), _) => c.estimate_range(lo, hi),
+            (None, Predicate::Eq(v)) => {
+                let h = &stats.histogram;
+                if *v < h.min_value() || *v > h.max_value() {
+                    0.0
+                } else {
+                    index.histogram.estimate_range(lo, hi).max(stats.rows_per_distinct())
+                }
+            }
+            (None, _) => index.histogram.estimate_range(lo, hi),
+        },
+    };
+    let rows = rows.clamp(0.0, n);
+    CardinalityEstimate { rows, selectivity: if n > 0.0 { rows / n } else { 0.0 } }
+}
+
+/// The pre-index bisect path of [`estimate_cardinality`]: a fresh
+/// [`RangeEstimator`] (with its `O(k)` cumulative rebuild) per call plus
+/// binary searches over the raw separator/side-table slices.
+///
+/// Kept callable on purpose — the byte-identity tests pin
+/// [`estimate_cardinality`] against it, and the lookup benchmarks use it
+/// as the "scan" baseline the indexed route is gated against.
+pub fn estimate_cardinality_scan(
+    stats: &ColumnStatistics,
+    predicate: &Predicate,
+) -> CardinalityEstimate {
+    let n = stats.num_rows as f64;
     let rows = match predicate.as_range() {
         None => 0.0,
         Some((lo, hi)) => match (&stats.compressed, predicate) {
-            // A compressed histogram answers equality on a heavy value
-            // exactly and keeps heavy mass out of range interpolation;
-            // prefer it whenever ANALYZE built one.
             (Some(c), Predicate::Eq(v)) => {
                 let h = &stats.histogram;
                 if *v < h.min_value() || *v > h.max_value() {
@@ -218,6 +266,49 @@ mod tests {
         // And ranges through the compressed path stay sane.
         let est = estimate_cardinality(&comp, &Predicate::Le(i64::MAX));
         assert!((est.rows - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indexed_path_is_byte_identical_to_scan_path() {
+        // Heavy-duplicate data so a compressed histogram (with a
+        // non-empty side table) and the plain histogram both exist, and
+        // every predicate shape routes through every arm.
+        let mut values: Vec<i64> = (0..30_000).map(|i| (i * i) % 2003).collect();
+        values.extend(vec![777i64; 10_000]);
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = Table::builder("t")
+            .column_with_blocking("c", values, 100, Layout::Random, &mut rng)
+            .build();
+        let plain = analyze(&t, "c", &AnalyzeOptions::full_scan(60), &mut rng).expect("exists");
+        let comp = analyze(&t, "c", &AnalyzeOptions::full_scan(60).with_compressed(), &mut rng)
+            .expect("exists");
+        assert!(!comp.compressed.as_ref().unwrap().high_frequency_values().is_empty());
+
+        let mut probes: Vec<Predicate> = Vec::new();
+        for i in 0..400i64 {
+            let x = (i * 131) % 2500 - 200;
+            probes.push(Predicate::Eq(x));
+            probes.push(Predicate::Le(x));
+            probes.push(Predicate::Gt(x));
+            probes.push(Predicate::Between { low: x, high: x + (i % 11) * 40 });
+        }
+        probes.push(Predicate::Eq(777));
+        probes.push(Predicate::Between { low: 9, high: 3 });
+        probes.push(Predicate::Le(i64::MAX));
+        probes.push(Predicate::Ge(i64::MIN));
+        for stats in [&plain, &comp] {
+            for p in &probes {
+                let fast = estimate_cardinality(stats, p);
+                let scan = estimate_cardinality_scan(stats, p);
+                assert_eq!(
+                    fast.rows.to_bits(),
+                    scan.rows.to_bits(),
+                    "{p}: indexed {} vs scan {}",
+                    fast.rows,
+                    scan.rows
+                );
+            }
+        }
     }
 
     fn true_equijoin(a: &[i64], b_sorted: &[i64]) -> u64 {

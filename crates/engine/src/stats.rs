@@ -2,8 +2,61 @@
 //! prototype recorded (Section 7.1: step values, per-step row counts,
 //! distinct values in the sample, the density value).
 
-use samplehist_core::histogram::{CompressedHistogram, EquiHeightHistogram};
+use std::sync::OnceLock;
+
+use samplehist_core::histogram::{
+    BucketIndex, CompressedHistogram, CompressedIndex, EquiHeightHistogram,
+};
 use samplehist_storage::IoStats;
+
+/// The serve-time fast path over one column's histograms: branchless
+/// bucket indexes built once (at catalog install, or lazily on first
+/// use) and shared by every estimation call thereafter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsIndex {
+    /// Index over the plain equi-height histogram.
+    pub histogram: BucketIndex,
+    /// Index over the compressed histogram, when ANALYZE built one.
+    pub compressed: Option<CompressedIndex>,
+}
+
+/// Lazily-built cache cell for a column's [`StatsIndex`].
+///
+/// Deliberately inert with respect to the statistics' value semantics:
+/// cloning yields an empty cell (the clone rebuilds on first use rather
+/// than sharing, keeping [`ColumnStatistics`] send-safe without an
+/// `Arc`), and equality always holds (the index is derived state — two
+/// statistics objects are equal iff their histograms are, and equal
+/// histograms produce byte-identical indexes).
+#[derive(Default)]
+pub struct CachedIndex(OnceLock<StatsIndex>);
+
+impl std::fmt::Debug for CachedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CachedIndex")
+            .field(&if self.0.get().is_some() { "built" } else { "empty" })
+            .finish()
+    }
+}
+
+impl CachedIndex {
+    /// Whether the index has been built (without building it).
+    pub fn is_built(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl Clone for CachedIndex {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for CachedIndex {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
 
 /// Everything the optimizer knows about one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,9 +88,24 @@ pub struct ColumnStatistics {
     pub method: String,
     /// I/O spent building them.
     pub io: IoStats,
+    /// Serve-time index cache; see [`ColumnStatistics::index`]. Excluded
+    /// from equality, cloned empty.
+    pub index: CachedIndex,
 }
 
 impl ColumnStatistics {
+    /// The serve-time [`StatsIndex`], building it on first call.
+    ///
+    /// [`StatsCatalog::install`](crate::StatsCatalog::install) forces the
+    /// build before publishing a snapshot, so concurrent readers get the
+    /// fast path without ever paying construction; ad-hoc consumers pay
+    /// it once, lazily.
+    pub fn index(&self) -> &StatsIndex {
+        self.index.0.get_or_init(|| StatsIndex {
+            histogram: BucketIndex::new(&self.histogram),
+            compressed: self.compressed.as_ref().map(CompressedIndex::new),
+        })
+    }
     /// Sampling rate `sample_size / num_rows`.
     pub fn sampling_rate(&self) -> f64 {
         self.sample_size as f64 / self.num_rows as f64
@@ -69,6 +137,7 @@ mod tests {
             sample_size: 100,
             method: "test".into(),
             io: IoStats::default(),
+            index: CachedIndex::default(),
         }
     }
 
@@ -77,6 +146,23 @@ mod tests {
         let s = dummy();
         assert!((s.sampling_rate() - 0.1).abs() < 1e-12);
         assert!((s.rows_per_distinct() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_cached_and_inert_to_value_semantics() {
+        let s = dummy();
+        let a = s.index() as *const _;
+        let b = s.index() as *const _;
+        assert_eq!(a, b, "second call must hit the cache");
+        assert!(s.index().compressed.is_none());
+
+        // The cache never participates in equality, and clones start
+        // empty (then rebuild to the same index, since the histograms
+        // are equal).
+        let t = s.clone();
+        assert_eq!(s, t);
+        assert_eq!(s.index().histogram, t.index().histogram);
+        assert_eq!(format!("{:?}", CachedIndex::default()), "CachedIndex(\"empty\")");
     }
 
     #[test]

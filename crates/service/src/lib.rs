@@ -39,4 +39,4 @@ pub use clock::Clock;
 pub use rng_stream::rng_stream;
 pub use scheduler::{RefreshJob, RefreshScheduler, SubmitOutcome};
 pub use service::{RefreshTally, ServiceConfig, StatsService};
-pub use staleness::{run_probe, ProbeOutcome, StalenessPolicy};
+pub use staleness::{run_probe, run_probe_with, ProbeOutcome, ProbeScratch, StalenessPolicy};

@@ -17,7 +17,17 @@ use samplehist_storage::{FaultInjectingStorage, FaultSpec};
 use crate::clock::Clock;
 use crate::rng_stream::rng_stream;
 use crate::scheduler::{RefreshJob, RefreshScheduler, SubmitOutcome};
-use crate::staleness::{run_probe, ProbeOutcome, StalenessPolicy};
+use crate::staleness::{run_probe_with, ProbeOutcome, ProbeScratch, StalenessPolicy};
+
+std::thread_local! {
+    /// Per-thread probe buffers: refresh workers (and [`StatsService::drain`]'s
+    /// helper threads) probe repeatedly, so the Fisher–Yates permutation
+    /// and sample vectors are reused instead of reallocated per probe.
+    /// Probe outcomes are scratch-independent ([`run_probe_with`]), so
+    /// thread-locality never perturbs the deterministic mode.
+    static PROBE_SCRATCH: std::cell::RefCell<ProbeScratch> =
+        std::cell::RefCell::new(ProbeScratch::default());
+}
 
 /// Everything tunable about a [`StatsService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -489,20 +499,25 @@ impl StatsService {
                 snap.mods_validated(),
             );
             let file = entry.table.column(&job.column).expect("checked above").file();
-            let outcome = match &entry.fault {
-                Some(spec) => run_probe(
-                    &FaultInjectingStorage::new(file, *spec),
-                    &snap.stats.histogram,
-                    &self.config.staleness,
-                    &mut rng,
-                ),
-                None => run_probe(
-                    &Reliable(file),
-                    &snap.stats.histogram,
-                    &self.config.staleness,
-                    &mut rng,
-                ),
-            };
+            let outcome = PROBE_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                match &entry.fault {
+                    Some(spec) => run_probe_with(
+                        scratch,
+                        &FaultInjectingStorage::new(file, *spec),
+                        &snap.stats.histogram,
+                        &self.config.staleness,
+                        &mut rng,
+                    ),
+                    None => run_probe_with(
+                        scratch,
+                        &Reliable(file),
+                        &snap.stats.histogram,
+                        &self.config.staleness,
+                        &mut rng,
+                    ),
+                }
+            });
             match outcome {
                 ProbeOutcome::Passed { observed, .. } => {
                     // Still good: re-arm staleness at today's counter and

@@ -125,12 +125,40 @@ impl ProbeOutcome {
     }
 }
 
+/// Reusable buffers for [`run_probe_with`] — the page-permutation and
+/// sampled-value vectors a probe fills, following the radix `Scratch`
+/// pattern: the caller (typically one per worker thread) owns the
+/// allocations and successive probes only pay a clear + refill, not a
+/// fresh heap round-trip per probe.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Page permutation; refilled with the identity each probe before
+    /// the Fisher–Yates prefix shuffle.
+    order: Vec<usize>,
+    /// Sampled tuples, sorted in place before the error metric.
+    values: Vec<i64>,
+}
+
 /// Run one cross-validation probe: draw a small fresh block sample from
 /// `source` (skipping unreadable pages) and test `histogram` against it.
 ///
 /// Deterministic in `rng`: the page subset is a Fisher–Yates prefix, so
-/// the same stream draws the same probe.
+/// the same stream draws the same probe. Allocates its buffers per call;
+/// repeated probers should hold a [`ProbeScratch`] and call
+/// [`run_probe_with`], which behaves identically.
 pub fn run_probe(
+    source: &impl TryBlockSource,
+    histogram: &EquiHeightHistogram,
+    policy: &StalenessPolicy,
+    rng: &mut impl Rng,
+) -> ProbeOutcome {
+    run_probe_with(&mut ProbeScratch::default(), source, histogram, policy, rng)
+}
+
+/// [`run_probe`] with caller-held buffers; outcome is identical for any
+/// scratch state (both buffers are fully re-initialized per probe).
+pub fn run_probe_with(
+    scratch: &mut ProbeScratch,
     source: &impl TryBlockSource,
     histogram: &EquiHeightHistogram,
     policy: &StalenessPolicy,
@@ -147,14 +175,19 @@ pub fn run_probe(
     let want_pages = (want_tuples.div_ceil(per_page) as usize).clamp(1, pages);
 
     // Fisher–Yates prefix: `want_pages` distinct pages, order-determined
-    // by the stream alone.
-    let mut order: Vec<usize> = (0..pages).collect();
+    // by the stream alone (the reused buffer is rebuilt from the
+    // identity, so prior probes leave no trace).
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..pages);
     for i in 0..want_pages {
         let j = rng.gen_range(i..pages);
         order.swap(i, j);
     }
 
-    let mut values = Vec::with_capacity(want_tuples as usize);
+    let values = &mut scratch.values;
+    values.clear();
+    values.reserve(want_tuples as usize);
     let mut tried = 0usize;
     for &page in &order[..want_pages] {
         tried += 1;
@@ -167,7 +200,7 @@ pub fn run_probe(
     }
     values.sort_unstable();
     let tuples = values.len() as u64;
-    let observed = histogram_fractional_error(histogram, &values).max;
+    let observed = histogram_fractional_error(histogram, values).max;
     let threshold = policy.pass_threshold(tuples, k, n);
     if observed <= threshold {
         ProbeOutcome::Passed { observed, threshold, tuples }
@@ -258,5 +291,29 @@ mod tests {
         let a = run_probe(&Reliable(&file), &hist, &policy, &mut StdRng::seed_from_u64(11));
         let b = run_probe(&Reliable(&file), &hist, &policy, &mut StdRng::seed_from_u64(11));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocations() {
+        // The same stream through one long-lived scratch must reproduce
+        // per-probe allocations exactly, across sources of different
+        // page counts (the order buffer is refilled, never assumed).
+        let policy = StalenessPolicy::default();
+        let mut scratch = ProbeScratch::default();
+        for (rows, seed) in [(20_000usize, 30u64), (5_000, 31), (50_000, 32)] {
+            let data: Vec<i64> = (0..rows as i64).map(|i| i * 7 % 997).collect();
+            let hist = EquiHeightHistogram::from_unsorted(data.clone(), 64);
+            let file = file_of(data, seed);
+            let fresh =
+                run_probe(&Reliable(&file), &hist, &policy, &mut StdRng::seed_from_u64(seed + 100));
+            let reused = run_probe_with(
+                &mut scratch,
+                &Reliable(&file),
+                &hist,
+                &policy,
+                &mut StdRng::seed_from_u64(seed + 100),
+            );
+            assert_eq!(fresh, reused, "rows = {rows}");
+        }
     }
 }
