@@ -166,6 +166,15 @@ fn check_event(
             require_u64(obj, "nanos")?;
             Ok("timing")
         }
+        "observation" => {
+            require_str(obj, "name")?;
+            require_str(obj, "label")?;
+            let v = obj.get("value").ok_or("missing \"value\"")?;
+            if !v.is_null() && v.as_f64().is_none() {
+                return Err("\"value\" must be a number or null".into());
+            }
+            Ok("observation")
+        }
         other => Err(format!("unknown event type {other:?}")),
     }
 }

@@ -6,6 +6,7 @@
 //! SAMPLEHIST_N=1000000 cargo run --release -p samplehist-bench --bin statserve
 //! SAMPLEHIST_SERVICE_MILLIS=5000 cargo run --release -p samplehist-bench --bin statserve
 //! cargo run --release -p samplehist-bench --bin statserve -- --check BENCH_service.json
+//! cargo run --release -p samplehist-bench --bin statserve -- --check-accuracy BENCH_accuracy.json
 //! ```
 //!
 //! Reader threads fire cardinality and equi-join estimates while mutator
@@ -16,6 +17,13 @@
 //! decorative. Every reader asserts its answers come from internally
 //! consistent snapshots — the "no partially-written entries" criterion
 //! runs inside the benchmark itself.
+//!
+//! An **accuracy phase** then closes the feedback loop: analytic truths
+//! for both column shapes are fed back through
+//! [`StatsService::record_actual`], the telemetry HTTP responder is
+//! started on an ephemeral port, `/metrics` is fetched and validated as
+//! Prometheus text, and the `/accuracy` JSON body is archived to
+//! `BENCH_accuracy.json` (schema-checked by `--check-accuracy`).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,7 +36,8 @@ use samplehist_engine::{
     analyze, estimate_cardinality, estimate_cardinality_scan, AnalyzeOptions, Predicate, Table,
 };
 use samplehist_obs::json::{self, Json};
-use samplehist_service::{ServiceConfig, StalenessPolicy, StatsService};
+use samplehist_obs::prom::validate_exposition;
+use samplehist_service::{MetricsServer, ServiceConfig, StalenessPolicy, StatsService};
 use samplehist_storage::{FaultSpec, Layout};
 
 /// Rows per table (service benches default smaller than the pipeline
@@ -42,6 +51,8 @@ const READERS: usize = 4;
 const MUTATORS: usize = 2;
 /// Output / `--check` default path.
 const OUT_PATH: &str = "BENCH_service.json";
+/// Accuracy-ledger archive / `--check-accuracy` default path.
+const ACCURACY_PATH: &str = "BENCH_accuracy.json";
 
 fn build_table(name: &str, rows: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -297,6 +308,146 @@ fn run_lookup_phase(n: usize) -> LookupResult {
     }
 }
 
+// -- accuracy / telemetry-endpoint phase --------------------------------
+
+/// Exact `v <= bound` cardinality for the `zipfish` column (`i % 1009`
+/// over `n` rows): each residue `0..1009` appears `n / 1009` times, and
+/// the first `n % 1009` residues once more.
+fn zipfish_le(bound: i64, n: usize) -> f64 {
+    if bound < 0 {
+        return 0.0;
+    }
+    let hit = (bound + 1).min(1009) as u64;
+    (hit * (n as u64 / 1009) + hit.min(n as u64 % 1009)) as f64
+}
+
+/// Exact `v <= bound` cardinality for the `uniform` column (`0..n`).
+fn uniform_le(bound: i64, n: usize) -> f64 {
+    (bound + 1).clamp(0, n as i64) as f64
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<(String, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("read: {e}"))?;
+    let (head, body) =
+        response.split_once("\r\n\r\n").ok_or_else(|| format!("malformed response: {response}"))?;
+    Ok((head.to_string(), body.to_string()))
+}
+
+/// Close the loop: feed analytic truths back into the accuracy ledgers,
+/// then scrape the live HTTP endpoints and return the `/accuracy` body
+/// (archived as `BENCH_accuracy.json`).
+fn run_accuracy_phase(svc: &Arc<StatsService>, n: usize) -> Result<String, String> {
+    let columns = [
+        ("orders", "uniform"),
+        ("orders", "zipfish"),
+        ("lineitem", "uniform"),
+        ("lineitem", "zipfish"),
+    ];
+    let mut fed = 0u64;
+    for (table, column) in columns {
+        for i in 0..96i64 {
+            let bound = i * 10 + 3;
+            let Some(est) = svc.estimate_cardinality(table, column, &Predicate::Le(bound)) else {
+                continue;
+            };
+            let truth = match column {
+                "uniform" => uniform_le(bound, n),
+                _ => zipfish_le(bound, n),
+            };
+            svc.record_actual(table, column, &format!("{column} <= {bound}"), est.rows, truth);
+            fed += 1;
+        }
+    }
+    // Any staleness- or breach-queued refreshes land before the scrape,
+    // so the archived ledgers describe a quiesced service.
+    svc.wait_idle();
+
+    let server = MetricsServer::start(svc, "127.0.0.1:0")
+        .map_err(|e| format!("bind metrics server: {e}"))?;
+    let (head, metrics) = http_get(server.addr(), "/metrics")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("/metrics returned {head}"));
+    }
+    validate_exposition(&metrics).map_err(|e| format!("/metrics exposition invalid: {e}"))?;
+    if !metrics.contains("samplehist_service_qerror{") {
+        return Err("/metrics lacks per-column q-error quantiles".into());
+    }
+    let (head, accuracy) = http_get(server.addr(), "/accuracy")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("/accuracy returned {head}"));
+    }
+    json::parse(&accuracy).map_err(|e| format!("/accuracy JSON invalid: {e}"))?;
+    server.stop();
+    println!(
+        "accuracy phase: fed {fed} observations, /metrics served {} bytes of valid \
+         exposition, /accuracy {} bytes of valid JSON",
+        metrics.len(),
+        accuracy.len()
+    );
+    Ok(accuracy)
+}
+
+fn check_accuracy_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let obj = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if obj.get("breaches").and_then(Json::as_u64).is_none() {
+        return Err("missing/non-integer \"breaches\"".into());
+    }
+    let Some(Json::Arr(columns)) = obj.get("columns") else {
+        return Err("\"columns\" must be an array".into());
+    };
+    if columns.is_empty() {
+        return Err("no columns in the accuracy ledger".into());
+    }
+    let mut observed_any = false;
+    for col in columns {
+        for key in ["table", "column"] {
+            if col.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("column entry missing {key:?}"));
+            }
+        }
+        for key in ["epoch", "observations", "underestimates", "overestimates"] {
+            if col.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("column entry missing/non-integer {key:?}"));
+            }
+        }
+        let observations = col.get("observations").and_then(Json::as_u64).unwrap_or(0);
+        if observations == 0 {
+            continue;
+        }
+        observed_any = true;
+        let mut prev = 1.0;
+        for key in ["p50", "p95", "p99"] {
+            match col.get(key).and_then(Json::as_f64) {
+                Some(v) if v >= prev => prev = v,
+                Some(v) => return Err(format!("q-error {key} = {v} below {prev} (not monotone)")),
+                None => return Err(format!("observed column missing q-error {key:?}")),
+            }
+        }
+        // Sketch quantiles overstate by at most one sub-bucket (6.25%);
+        // `max` is exact, so it may sit slightly below p99.
+        match col.get("max").and_then(Json::as_f64) {
+            Some(m) if m >= 1.0 && prev <= m * (1.0 + 1.0 / 16.0) + 1e-9 => {}
+            Some(m) => return Err(format!("q-error max = {m} inconsistent with p99 = {prev}")),
+            None => return Err("observed column missing q-error \"max\"".into()),
+        }
+        match col.get("worst").and_then(|w| w.get("qerror")).and_then(Json::as_f64) {
+            Some(q) if q >= 1.0 => {}
+            _ => return Err("observed column lacks a worst-predicate capture".into()),
+        }
+    }
+    if !observed_any {
+        return Err("no column recorded any accuracy observations".into());
+    }
+    println!("{path}: OK — {} columns in the accuracy ledger", columns.len());
+    Ok(())
+}
+
 // -- `--check` ----------------------------------------------------------
 
 fn require_u64(obj: &Json, key: &str) -> Result<u64, String> {
@@ -415,25 +566,35 @@ fn check_file(path: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut check: Option<String> = None;
+    let mut check_accuracy: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => check = Some(it.next().unwrap_or_else(|| OUT_PATH.to_string())),
+            "--check-accuracy" => {
+                check_accuracy = Some(it.next().unwrap_or_else(|| ACCURACY_PATH.to_string()))
+            }
             other => {
                 eprintln!("statserve: unknown argument {other:?}");
-                eprintln!("usage: statserve [--check [PATH]]");
+                eprintln!("usage: statserve [--check [PATH]] [--check-accuracy [PATH]]");
                 return ExitCode::FAILURE;
             }
         }
     }
-    if let Some(path) = check {
-        return match check_file(&path) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
+    if check.is_some() || check_accuracy.is_some() {
+        if let Some(path) = check {
+            if let Err(e) = check_file(&path) {
                 eprintln!("statserve --check failed: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
-        };
+        }
+        if let Some(path) = check_accuracy {
+            if let Err(e) = check_accuracy_file(&path) {
+                eprintln!("statserve --check-accuracy failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     let n: usize =
@@ -450,6 +611,13 @@ fn main() -> ExitCode {
     );
 
     let (svc, result, elapsed) = run_workload(n, millis, refresh_threads);
+    let accuracy_body = match run_accuracy_phase(&svc, n) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("statserve: accuracy phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let tally = svc.tally();
     let lookup = run_lookup_phase(n);
     println!(
@@ -565,8 +733,10 @@ fn main() -> ExitCode {
     );
     std::fs::write(OUT_PATH, &json).expect("write BENCH_service.json");
     println!("wrote {OUT_PATH}");
+    std::fs::write(ACCURACY_PATH, &accuracy_body).expect("write BENCH_accuracy.json");
+    println!("wrote {ACCURACY_PATH}");
     // Self-validate so schema drift fails here, not in CI.
-    match check_file(OUT_PATH) {
+    match check_file(OUT_PATH).and_then(|()| check_accuracy_file(ACCURACY_PATH)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("statserve: self-check failed: {e}");

@@ -1,0 +1,216 @@
+//! Per-column estimator-accuracy ledger: the feedback half of the
+//! telemetry plane.
+//!
+//! Execution feeds observed (predicted, actual) cardinality pairs back
+//! through [`AccuracyLedger::record`]; the ledger folds each pair's
+//! [q-error](qerror) into a mergeable [`QuantileSketch`], counts
+//! under- vs over-estimates, and captures the worst-offending predicate.
+//! The service layer reads these aggregates to decide whether a column's
+//! statistics have rotted *without any writes* — the case the
+//! mod-counter staleness path is structurally blind to.
+//!
+//! Every aggregate here is **merge-order independent** (additive sketch
+//! buckets, monotone atomics, and a total-order worst capture with a
+//! deterministic predicate-string tiebreak), so the service's `dump()`
+//! stays bit-identical regardless of how observations interleave across
+//! refresh threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use samplehist_obs::QuantileSketch;
+
+/// The standard q-error: `max(e/t, t/e)` with both sides clamped to at
+/// least one row, so zero-row truths and estimates do not blow the
+/// ratio up to infinity. Always `>= 1.0` for finite inputs.
+pub fn qerror(predicted: f64, actual: f64) -> f64 {
+    let e = predicted.max(1.0);
+    let t = actual.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// The single worst (highest q-error) observation a ledger has seen,
+/// kept with enough context to print an actionable diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstPredicate {
+    /// Rendered predicate text (e.g. `amount <= 100`).
+    pub predicate: String,
+    /// The optimizer's cardinality estimate.
+    pub predicted: f64,
+    /// The cardinality execution actually observed.
+    pub actual: f64,
+    /// `qerror(predicted, actual)`, cached at record time.
+    pub qerror: f64,
+}
+
+/// Thread-safe accuracy aggregates for one column's statistics epoch.
+///
+/// Interior mutability throughout: the ledger hangs off the shared
+/// [`VersionedStats`](crate::VersionedStats) snapshot, so execution
+/// threads record through `&self` while the service reads aggregates
+/// concurrently. A fresh ledger is installed with every new statistics
+/// epoch, which resets the feedback loop for free.
+#[derive(Debug, Default)]
+pub struct AccuracyLedger {
+    sketch: Mutex<QuantileSketch>,
+    observations: AtomicU64,
+    underestimates: AtomicU64,
+    overestimates: AtomicU64,
+    worst: Mutex<Option<WorstPredicate>>,
+}
+
+impl AccuracyLedger {
+    /// An empty ledger (what each `install` starts from).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one (predicted, actual) pair in and return its q-error.
+    ///
+    /// Non-finite inputs are counted but not folded into the sketch
+    /// (NaN q-errors would poison quantiles); callers on the estimation
+    /// path only produce finite values.
+    pub fn record(&self, predicate: &str, predicted: f64, actual: f64) -> f64 {
+        let q = qerror(predicted, actual);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        if predicted < actual {
+            self.underestimates.fetch_add(1, Ordering::Relaxed);
+        } else if predicted > actual {
+            self.overestimates.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sketch.lock().expect("accuracy sketch poisoned").observe(q);
+        let mut worst = self.worst.lock().expect("worst-predicate slot poisoned");
+        let replace = match &*worst {
+            None => true,
+            // Strictly-greater q-error wins; on an exact tie the smaller
+            // predicate string wins, so the capture is independent of
+            // the order threads record in.
+            Some(w) => match q.total_cmp(&w.qerror) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => predicate < w.predicate.as_str(),
+                std::cmp::Ordering::Less => false,
+            },
+        };
+        if replace {
+            *worst = Some(WorstPredicate {
+                predicate: predicate.to_string(),
+                predicted,
+                actual,
+                qerror: q,
+            });
+        }
+        q
+    }
+
+    /// Total observations recorded since the last reset.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// Observations where the estimate fell short of the actual.
+    pub fn underestimates(&self) -> u64 {
+        self.underestimates.load(Ordering::Relaxed)
+    }
+
+    /// Observations where the estimate exceeded the actual.
+    pub fn overestimates(&self) -> u64 {
+        self.overestimates.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the q-error sketch (cheap: fixed-size).
+    pub fn sketch(&self) -> QuantileSketch {
+        self.sketch.lock().expect("accuracy sketch poisoned").clone()
+    }
+
+    /// The worst observation so far, if any.
+    pub fn worst(&self) -> Option<WorstPredicate> {
+        self.worst.lock().expect("worst-predicate slot poisoned").clone()
+    }
+
+    /// Clear every aggregate, re-arming the feedback loop (used after a
+    /// Theorem-7 probe passes: the statistics were vindicated, so stale
+    /// q-errors must not keep the column permanently suspect).
+    pub fn reset(&self) {
+        *self.sketch.lock().expect("accuracy sketch poisoned") = QuantileSketch::new();
+        self.observations.store(0, Ordering::Relaxed);
+        self.underestimates.store(0, Ordering::Relaxed);
+        self.overestimates.store(0, Ordering::Relaxed);
+        *self.worst.lock().expect("worst-predicate slot poisoned") = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qerror_is_symmetric_and_clamped() {
+        assert_eq!(qerror(10.0, 100.0), 10.0);
+        assert_eq!(qerror(100.0, 10.0), 10.0);
+        assert_eq!(qerror(0.0, 0.0), 1.0, "zero/zero clamps to 1");
+        assert_eq!(qerror(0.0, 50.0), 50.0, "zero estimate clamps to one row");
+    }
+
+    #[test]
+    fn ledger_tracks_direction_counts_and_worst() {
+        let ledger = AccuracyLedger::new();
+        assert_eq!(ledger.record("a <= 10", 100.0, 100.0), 1.0);
+        assert_eq!(ledger.record("a <= 20", 10.0, 100.0), 10.0);
+        assert_eq!(ledger.record("a <= 30", 100.0, 25.0), 4.0);
+        assert_eq!(ledger.observations(), 3);
+        assert_eq!(ledger.underestimates(), 1);
+        assert_eq!(ledger.overestimates(), 1);
+        let worst = ledger.worst().expect("records present");
+        assert_eq!(worst.predicate, "a <= 20");
+        assert_eq!(worst.qerror, 10.0);
+        assert_eq!(ledger.sketch().count(), 3);
+    }
+
+    #[test]
+    fn worst_capture_ties_break_on_predicate_text() {
+        let ledger = AccuracyLedger::new();
+        ledger.record("b = 2", 10.0, 100.0);
+        ledger.record("a = 1", 10.0, 100.0);
+        ledger.record("c = 3", 10.0, 100.0);
+        assert_eq!(ledger.worst().expect("present").predicate, "a = 1");
+
+        // Same observations in any other order capture the same worst.
+        let other = AccuracyLedger::new();
+        other.record("c = 3", 10.0, 100.0);
+        other.record("b = 2", 10.0, 100.0);
+        other.record("a = 1", 10.0, 100.0);
+        assert_eq!(ledger.worst(), other.worst());
+    }
+
+    #[test]
+    fn reset_rearms_everything() {
+        let ledger = AccuracyLedger::new();
+        ledger.record("a <= 1", 1.0, 1000.0);
+        ledger.reset();
+        assert_eq!(ledger.observations(), 0);
+        assert_eq!(ledger.underestimates(), 0);
+        assert_eq!(ledger.overestimates(), 0);
+        assert!(ledger.worst().is_none());
+        assert!(ledger.sketch().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless_and_order_independent() {
+        let ledger = AccuracyLedger::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ledger = &ledger;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let actual = 10.0 + (t * 100 + i) as f64;
+                        ledger.record(&format!("x = {}", t * 100 + i), 10.0, actual);
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.observations(), 400);
+        assert_eq!(ledger.sketch().count(), 400);
+        // Worst is the largest actual regardless of interleaving.
+        assert_eq!(ledger.worst().expect("present").predicate, "x = 399");
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::{Arc, RwLock};
 
 use rand::Rng;
 
+use crate::accuracy::AccuracyLedger;
 use crate::analyze::{analyze, AnalyzeError, AnalyzeOptions};
 use crate::stats::ColumnStatistics;
 use crate::table::Table;
@@ -178,6 +179,11 @@ pub struct VersionedStats {
     /// probe advances it so staleness re-arms instead of re-probing every
     /// tick).
     mods_validated: AtomicU64,
+    /// Estimator-accuracy feedback for this epoch: execution records
+    /// (predicted, actual) pairs here and the service watches the
+    /// q-error quantiles for rot. Starts empty on every install, so a
+    /// refresh automatically resets the feedback loop.
+    pub accuracy: AccuracyLedger,
 }
 
 impl VersionedStats {
@@ -283,6 +289,7 @@ impl StatsCatalog {
             built_at,
             mods_at_build,
             mods_validated: AtomicU64::new(mods_at_build),
+            accuracy: AccuracyLedger::new(),
         });
         stripe.insert(key, Arc::clone(&snapshot));
         snapshot

@@ -19,6 +19,9 @@
 //!   that motivates the paper's max error metric (Theorems 1/3).
 //! * [`optimizer`] — a toy index-seek vs table-scan chooser showing how
 //!   histogram error propagates into plan quality.
+//! * [`AccuracyLedger`] — per-epoch execution feedback: observed
+//!   q-errors aggregated into mergeable quantile sketches, the signal
+//!   the service's accuracy-driven refresh path watches.
 
 //! ## Example
 //!
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
+mod accuracy;
 mod analyze;
 mod catalog;
 pub mod optimizer;
@@ -51,6 +55,7 @@ mod selectivity;
 mod stats;
 mod table;
 
+pub use accuracy::{qerror, AccuracyLedger, WorstPredicate};
 pub use analyze::{
     analyze, analyze_resilient, analyze_resilient_traced, analyze_traced, AnalyzeError,
     AnalyzeMode, AnalyzeOptions, ResilientStatistics,

@@ -56,19 +56,35 @@ pub fn estimate_equijoin(a: &ColumnStatistics, b: &ColumnStatistics) -> f64 {
     let (da, db) = (a.distinct_estimate.max(1.0), b.distinct_estimate.max(1.0));
     let (na, nb) = (a.num_rows as f64, b.num_rows as f64);
 
-    let mut total = 0.0f64;
-    let mut prev = lo - 1; // fragment = (prev, bound]
+    // Fragment (prev, bound] as the closed probe [prev+1, bound]: the
+    // batched kernel computes (le(bound) − lt(prev+1)).max(0) with the
+    // same float operations as the scalar le-difference sweep, so the
+    // result is byte-identical — but both sides' descents run through
+    // the eight-lane interleaved path. (`prev + 1` cannot overflow:
+    // every prev is a bound strictly below `hi`; the first fragment
+    // starts at `lo` itself, which also handles `lo == i64::MIN`.)
+    let mut probes = Vec::with_capacity(bounds.len());
+    let mut start = lo;
     for &bound in &bounds {
-        let rows_a = (est_a.estimate_le(bound) - est_a.estimate_le(prev)).max(0.0);
-        let rows_b = (est_b.estimate_le(bound) - est_b.estimate_le(prev)).max(0.0);
-        if rows_a > 0.0 && rows_b > 0.0 {
+        probes.push((start, bound));
+        // Wrapping only matters after the final bound (`hi` may be
+        // i64::MAX); that value is never pushed as a probe.
+        start = bound.wrapping_add(1);
+    }
+    let mut rows_a = vec![0.0f64; probes.len()];
+    let mut rows_b = vec![0.0f64; probes.len()];
+    est_a.estimate_range_batch(&probes, &mut rows_a);
+    est_b.estimate_range_batch(&probes, &mut rows_b);
+
+    let mut total = 0.0f64;
+    for (&ra, &rb) in rows_a.iter().zip(&rows_b) {
+        if ra > 0.0 && rb > 0.0 {
             // Distinct values each side brings to this fragment,
             // apportioned by row mass; at least 1 once rows exist.
-            let d_frag_a = (da * rows_a / na).max(1.0);
-            let d_frag_b = (db * rows_b / nb).max(1.0);
-            total += rows_a * rows_b / d_frag_a.max(d_frag_b);
+            let d_frag_a = (da * ra / na).max(1.0);
+            let d_frag_b = (db * rb / nb).max(1.0);
+            total += ra * rb / d_frag_a.max(d_frag_b);
         }
-        prev = bound;
     }
     total
 }
@@ -361,6 +377,69 @@ mod tests {
             (est - truth).abs() < (global - truth).abs() / 2.0,
             "aligned est {est} should beat global {global} (truth {truth})"
         );
+    }
+
+    /// The batched fragment sweep inside [`estimate_equijoin`] must be
+    /// byte-identical to the scalar `estimate_le`-difference loop it
+    /// replaced: same fragments, same float operations, new lanes.
+    #[test]
+    fn equijoin_batched_sweep_matches_scalar_reference() {
+        let cases = [
+            (stats_for((0..5000).map(|i| i % 500).collect(), 25, 41), {
+                stats_for((0..3000).map(|i| (i % 300) * 2).collect(), 25, 42)
+            }),
+            (
+                stats_for((0..10_000).collect(), 50, 43),
+                stats_for((9_000..19_000).collect(), 50, 44),
+            ),
+            (
+                stats_for((0..100).flat_map(|v| vec![v * 10; 50]).collect(), 20, 45),
+                stats_for((0..2000).map(|i| (i * 7) % 990).collect(), 13, 46),
+            ),
+        ];
+        for (a, b) in &cases {
+            let scalar = {
+                let (lo, hi) = (
+                    a.histogram.min_value().max(b.histogram.min_value()),
+                    a.histogram.max_value().min(b.histogram.max_value()),
+                );
+                assert!(lo <= hi, "cases must overlap to exercise the sweep");
+                let mut bounds: Vec<i64> = a
+                    .histogram
+                    .separators()
+                    .iter()
+                    .chain(b.histogram.separators())
+                    .copied()
+                    .filter(|&s| s > lo && s < hi)
+                    .collect();
+                bounds.push(hi);
+                bounds.sort_unstable();
+                bounds.dedup();
+                let est_a = &a.index().histogram;
+                let est_b = &b.index().histogram;
+                let (da, db) = (a.distinct_estimate.max(1.0), b.distinct_estimate.max(1.0));
+                let (na, nb) = (a.num_rows as f64, b.num_rows as f64);
+                let mut total = 0.0f64;
+                let mut prev = lo - 1;
+                for &bound in &bounds {
+                    let rows_a = (est_a.estimate_le(bound) - est_a.estimate_le(prev)).max(0.0);
+                    let rows_b = (est_b.estimate_le(bound) - est_b.estimate_le(prev)).max(0.0);
+                    if rows_a > 0.0 && rows_b > 0.0 {
+                        let d_frag_a = (da * rows_a / na).max(1.0);
+                        let d_frag_b = (db * rows_b / nb).max(1.0);
+                        total += rows_a * rows_b / d_frag_a.max(d_frag_b);
+                    }
+                    prev = bound;
+                }
+                total
+            };
+            let batched = estimate_equijoin(a, b);
+            assert_eq!(
+                batched.to_bits(),
+                scalar.to_bits(),
+                "batched {batched} vs scalar reference {scalar}"
+            );
+        }
     }
 
     #[test]

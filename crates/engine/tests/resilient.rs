@@ -81,6 +81,9 @@ fn normalize(event: &Event) -> String {
         Event::Gauge { name, value, .. } => format!("gauge {name} {value}"),
         // Timings observe durations; only their presence is deterministic.
         Event::Timing { name, .. } => format!("timing {name}"),
+        Event::Observation { name, label, value, .. } => {
+            format!("observation {name} {label} {value}")
+        }
     }
 }
 

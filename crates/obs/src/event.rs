@@ -138,6 +138,20 @@ pub enum Event {
         /// Monotonic microseconds since the recorder's epoch.
         t_us: u64,
     },
+    /// One value observation for a dynamic series (q-error of one
+    /// estimate, say), aggregated by sinks into per-`(name, label)`
+    /// quantile sketches.
+    Observation {
+        /// Metric name (the static instrumentation point).
+        name: &'static str,
+        /// Dynamic series label, e.g. `"orders.amount"` — the one event
+        /// field whose cardinality is data-driven, so it is owned.
+        label: String,
+        /// Observed value.
+        value: f64,
+        /// Monotonic microseconds since the recorder's epoch.
+        t_us: u64,
+    },
 }
 
 impl Event {
@@ -149,6 +163,7 @@ impl Event {
             Event::Counter { .. } => "counter",
             Event::Gauge { .. } => "gauge",
             Event::Timing { .. } => "timing",
+            Event::Observation { .. } => "observation",
         }
     }
 
@@ -159,7 +174,8 @@ impl Event {
             | Event::SpanEnd { name, .. }
             | Event::Counter { name, .. }
             | Event::Gauge { name, .. }
-            | Event::Timing { name, .. } => name,
+            | Event::Timing { name, .. }
+            | Event::Observation { name, .. } => name,
         }
     }
 
@@ -172,6 +188,7 @@ impl Event {
     /// {"type":"counter","name":"storage.pages_read","delta":40,"t_us":63}
     /// {"type":"gauge","name":"parallel.threads","value":4,"t_us":70}
     /// {"type":"timing","name":"parallel.chunk_ns","nanos":812,"t_us":75}
+    /// {"type":"observation","name":"service.qerror","label":"orders.amount","value":1.5,"t_us":80}
     /// ```
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -220,6 +237,15 @@ impl Event {
                 json::write_escaped(name, &mut out);
                 out.push_str(&format!(",\"nanos\":{nanos},\"t_us\":{t_us}"));
             }
+            Event::Observation { name, label, value, t_us } => {
+                out.push_str(",\"name\":");
+                json::write_escaped(name, &mut out);
+                out.push_str(",\"label\":");
+                json::write_escaped(label, &mut out);
+                out.push_str(",\"value\":");
+                Value::F64(*value).write_json(&mut out);
+                out.push_str(&format!(",\"t_us\":{t_us}"));
+            }
         }
         out.push('}');
         out
@@ -252,6 +278,22 @@ mod tests {
         assert!(line.starts_with("{\"type\":\"span_end\""), "{line}");
         assert!(line.contains("\"fields\":{\"round\":1,\"verdict\":\"accept\"}"), "{line}");
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn observation_carries_its_dynamic_label() {
+        let e = Event::Observation {
+            name: "service.qerror",
+            label: "orders.\"a\"".into(),
+            value: 1.5,
+            t_us: 3,
+        };
+        assert_eq!(e.kind(), "observation");
+        assert_eq!(e.name(), "service.qerror");
+        let line = e.to_jsonl();
+        assert!(line.contains("\"label\":\"orders.\\\"a\\\"\""), "{line}");
+        assert!(line.contains("\"value\":1.5"), "{line}");
+        crate::json::parse(&line).expect("valid json");
     }
 
     #[test]

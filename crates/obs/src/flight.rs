@@ -1,0 +1,134 @@
+//! A bounded ring-buffer "flight recorder" of recent events.
+//!
+//! Production services rarely want a full trace — they want the last
+//! few thousand events *when something goes wrong*. [`FlightRecorder`]
+//! is a fixed-capacity ring any [`Recorder`](crate::Recorder) can fan
+//! into: writers claim a slot with one atomic `fetch_add` and touch
+//! only that slot's lock, so concurrent recording never serializes on a
+//! global buffer lock (the crate forbids `unsafe`, so "lock-free" here
+//! means lock-free slot *assignment*; the per-slot mutexes are
+//! uncontended except when a writer laps a reader).
+//!
+//! Snapshots ([`FlightRecorder::recent`]) are best-effort under
+//! concurrent writes — exactly what a post-incident dump needs — and
+//! exact once writers quiesce.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::sink::Sink;
+
+/// Bounded ring buffer of the most recent events; see the module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Mutex<Option<Event>>]>,
+    /// Total events ever recorded; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { slots: (0..capacity).map(|_| Mutex::new(None)).collect(), cursor: AtomicU64::new(0) }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        (self.recorded() as usize).min(self.capacity())
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// Snapshot of the retained events, oldest first. Best-effort while
+    /// writers are active (a slot being overwritten mid-snapshot shows
+    /// either its old or its new event); exact when they are not.
+    pub fn recent(&self) -> Vec<Event> {
+        let total = self.recorded();
+        let cap = self.capacity() as u64;
+        let start = total.saturating_sub(cap);
+        (start..total)
+            .filter_map(|seq| {
+                self.slots[(seq % cap) as usize].lock().expect("flight slot lock").clone()
+            })
+            .collect()
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn record(&self, event: &Event) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.capacity() as u64) as usize;
+        *self.slots[slot].lock().expect("flight slot lock") = Some(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &'static str, delta: u64) -> Event {
+        Event::Counter { name, delta, t_us: 0 }
+    }
+
+    #[test]
+    fn retains_only_the_most_recent_events() {
+        let ring = FlightRecorder::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5u64 {
+            ring.record(&counter("n", i));
+        }
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.len(), 3);
+        let deltas: Vec<u64> = ring
+            .recent()
+            .iter()
+            .map(|e| match e {
+                Event::Counter { delta, .. } => *delta,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(deltas, vec![2, 3, 4], "oldest first, oldest two evicted");
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(&counter("a", 1));
+        ring.record(&counter("a", 2));
+        assert_eq!(ring.recent().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_count() {
+        let ring = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.record(&counter("n", i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 400);
+        assert_eq!(ring.recent().len(), 64, "ring stays full once lapped");
+    }
+}

@@ -8,7 +8,14 @@
 //! * [`MemorySink`] — in-memory event buffer for tests and summaries;
 //! * [`JsonlSink`] — one structured JSON event per line (the trace
 //!   format `histstat` dumps and CI validates);
-//! * [`PromSink`] — aggregating Prometheus-style text exposition.
+//! * [`PromSink`] — aggregating Prometheus-style text exposition
+//!   (hygiene helpers and a format validator live in [`prom`]);
+//! * [`FlightRecorder`] — a bounded ring buffer of the most recent
+//!   events, for post-incident dumps.
+//!
+//! Value distributions (q-errors, ratios) are recorded with
+//! [`Recorder::observe`] and aggregated into mergeable, fixed-size
+//! [`QuantileSketch`]es (p50/p95/p99/max).
 //!
 //! The workspace builds offline, so there is no `tracing`/`metrics`
 //! dependency; this crate is the small slice of that ecosystem the
@@ -50,12 +57,17 @@
 #![warn(missing_docs)]
 
 mod event;
+mod flight;
 pub mod json;
+pub mod prom;
+mod quantile;
 mod recorder;
 mod sink;
 mod timing;
 
 pub use event::{Event, FieldList, Value};
+pub use flight::FlightRecorder;
+pub use quantile::QuantileSketch;
 pub use recorder::{Recorder, Span};
 pub use sink::{JsonlSink, MemorySink, PromSink, Sink};
 pub use timing::LogHistogram;

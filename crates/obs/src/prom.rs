@@ -1,0 +1,325 @@
+//! Prometheus text-exposition hygiene: name sanitization, escaping, and
+//! a validator for the format the workspace's endpoints serve.
+//!
+//! The exposition rules this module encodes (text format 0.0.4):
+//!
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`; label names match
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`;
+//! * label values escape `\` as `\\`, `"` as `\"`, and newline as `\n`;
+//!   `# HELP` text escapes `\` and newline;
+//! * `# HELP` and `# TYPE` appear at most once per metric family, before
+//!   any of its samples;
+//! * histogram families add `_bucket`/`_sum`/`_count` samples, summary
+//!   families add `quantile`-labeled and `_sum`/`_count` samples.
+//!
+//! [`validate_exposition`] checks all of the above plus duplicate-series
+//! detection; the CI metrics-endpoint smoke step and `statserve`'s
+//! self-check run every served `/metrics` body through it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Map an event name onto a legal Prometheus metric name: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit
+/// gets an `_` prefix (names may not start with a digit).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == ':' || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    if out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value for `name{label="<here>"}`: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: backslash and newline (quotes are legal there).
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The base family of a sample name: `_bucket`/`_sum`/`_count` suffixes
+/// belong to their histogram/summary family.
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = sample_name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    sample_name
+}
+
+/// Parse one sample line into `(name, label_block, value)`. The label
+/// block (without braces) is returned raw for duplicate detection;
+/// quoting is validated here.
+fn parse_sample(line: &str) -> Result<(String, String, f64), String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("sample has no value: {line:?}"))?;
+    let name = &line[..name_end];
+    if !is_valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(inner) = rest.strip_prefix('{') {
+        let close = find_label_block_end(inner)
+            .ok_or_else(|| format!("unterminated label block: {line:?}"))?;
+        let block = &inner[..close];
+        validate_label_block(block).map_err(|e| format!("{e} in {line:?}"))?;
+        (block.to_string(), &inner[close + 1..])
+    } else {
+        (String::new(), rest)
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parts.next().ok_or_else(|| format!("sample has no value: {line:?}"))?;
+    let value =
+        parse_prom_value(value).ok_or_else(|| format!("bad value {value:?} in {line:?}"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>().map_err(|_| format!("bad timestamp {ts:?} in {line:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens after timestamp: {line:?}"));
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+/// Index of the `}` closing a label block (respecting `\"` escapes
+/// inside quoted values), given the text after the opening `{`.
+fn find_label_block_end(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Validate `k1="v1",k2="v2"` (an empty block is legal).
+fn validate_label_block(block: &str) -> Result<(), String> {
+    let mut rest = block;
+    let mut seen = BTreeSet::new();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if !is_valid_label_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        if !seen.insert(key.to_string()) {
+            return Err(format!("duplicate label {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value for {key:?} not quoted"))?;
+        // Scan the quoted value, honoring escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("bad escape '\\{c}' in label {key:?}"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated value for label {key:?}"))?;
+        rest = &rest[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            if rest.is_empty() {
+                return Err("trailing comma in label block".to_string());
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_prom_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// Validate a whole text exposition (see the module docs for the rules
+/// enforced). Returns the first violation found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    let mut series: BTreeSet<(String, String)> = BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !is_valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid TYPE name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown TYPE {kind:?} for {name:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name:?}"));
+            }
+            if sampled.contains(name) {
+                return Err(format!("line {lineno}: TYPE for {name:?} after its samples"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !is_valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid HELP name {name:?}"));
+            }
+            if !helps.insert(name.to_string()) {
+                return Err(format!("line {lineno}: duplicate HELP for {name:?}"));
+            }
+            if sampled.contains(name) {
+                return Err(format!("line {lineno}: HELP for {name:?} after its samples"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let (name, labels, _value) =
+            parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let family = family_of(&name).to_string();
+        // A TYPE may be declared on the family or (counter convention
+        // in this workspace) on the literal sample name.
+        if let Some(kind) = types.get(&family).or_else(|| types.get(&name)) {
+            if kind == "histogram"
+                && name == family
+                && !labels.split(',').any(|l| l.starts_with("le="))
+            {
+                return Err(format!("line {lineno}: bare sample {name:?} of histogram family"));
+            }
+        }
+        sampled.insert(family.clone());
+        sampled.insert(name.clone());
+        if !series.insert((name.clone(), labels)) {
+            return Err(format!("line {lineno}: duplicate series for {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_fixes_dots_and_leading_digits() {
+        assert_eq!(sanitize_metric_name("cvb.round"), "cvb_round");
+        assert_eq!(sanitize_metric_name("a:b-c d"), "a:b_c_d");
+        assert_eq!(sanitize_metric_name("99th.pct"), "_99th_pct");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert!(is_valid_metric_name(&sanitize_metric_name("7\"quoted\".name")));
+    }
+
+    #[test]
+    fn escapes_cover_the_reserved_characters() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(escape_help("back\\slash\nnl"), "back\\\\slash\\nnl");
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_families() {
+        let text = "\
+# HELP app_requests_total requests served\n\
+# TYPE app_requests_total counter\n\
+app_requests_total 7\n\
+# TYPE app_qerror summary\n\
+app_qerror{col=\"orders.a \\\"q\\\"\",quantile=\"0.5\"} 1.25\n\
+app_qerror{col=\"orders.a \\\"q\\\"\",quantile=\"0.99\"} 3.5\n\
+app_qerror_count{col=\"orders.a \\\"q\\\"\"} 12\n\
+# TYPE app_latency_seconds histogram\n\
+app_latency_seconds_bucket{le=\"0.1\"} 3\n\
+app_latency_seconds_bucket{le=\"+Inf\"} 4\n\
+app_latency_seconds_sum 0.5\n\
+app_latency_seconds_count 4\n";
+        validate_exposition(text).expect("valid exposition");
+    }
+
+    #[test]
+    fn validator_rejects_the_failure_modes_the_hygiene_fix_targets() {
+        assert!(validate_exposition("bad.name 1\n").is_err(), "dotted name");
+        assert!(
+            validate_exposition("# TYPE x counter\n# TYPE x counter\nx 1\n").is_err(),
+            "duplicate TYPE"
+        );
+        assert!(validate_exposition("x 1\n# TYPE x counter\n").is_err(), "TYPE after sample");
+        assert!(validate_exposition("x{l=\"unterminated} 1\n").is_err(), "open quote");
+        assert!(validate_exposition("x{l=\"a\"} 1\nx{l=\"a\"} 2\n").is_err(), "duplicate series");
+        assert!(validate_exposition("x{2bad=\"a\"} 1\n").is_err(), "bad label name");
+        assert!(validate_exposition("x notanumber\n").is_err(), "bad value");
+        validate_exposition("x{l=\"a\"} 1\nx{l=\"b\"} 2\n").expect("distinct labels are fine");
+    }
+}

@@ -108,6 +108,22 @@ impl Recorder {
         }
     }
 
+    /// Record one `value` observation under `name` for the dynamic
+    /// series `label` (aggregated by sinks into per-`(name, label)`
+    /// quantile sketches). The label string is only materialized when
+    /// recording is enabled, so disabled-path cost stays one branch.
+    #[inline]
+    pub fn observe(&self, name: &'static str, label: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.emit(Event::Observation {
+                name,
+                label: label.to_string(),
+                value,
+                t_us: inner.now_us(),
+            });
+        }
+    }
+
     /// Time `f` and record it under `name`; when disabled, just runs `f`
     /// without reading the clock.
     #[inline]

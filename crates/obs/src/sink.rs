@@ -5,6 +5,8 @@ use std::io::Write;
 use std::sync::Mutex;
 
 use crate::event::Event;
+use crate::prom::{escape_help, escape_label_value, sanitize_metric_name};
+use crate::quantile::QuantileSketch;
 use crate::timing::LogHistogram;
 
 /// A destination for recorded events. Implementations must serialize
@@ -91,6 +93,8 @@ struct PromState {
     gauges: BTreeMap<&'static str, f64>,
     timings: BTreeMap<&'static str, LogHistogram>,
     spans: BTreeMap<&'static str, LogHistogram>,
+    /// Per-`(name, label)` value sketches fed by [`Event::Observation`].
+    quantiles: BTreeMap<(&'static str, String), QuantileSketch>,
 }
 
 /// Aggregating sink rendering Prometheus-style text exposition:
@@ -103,10 +107,11 @@ pub struct PromSink {
     state: Mutex<PromState>,
 }
 
-/// Prometheus metric names allow `[a-zA-Z0-9_:]`; dotted event names
-/// become underscored.
+/// Prometheus metric names allow `[a-zA-Z_:][a-zA-Z0-9_:]*`; dotted
+/// event names become underscored and a leading digit gets prefixed
+/// (full rules in [`crate::prom::sanitize_metric_name`]).
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+    sanitize_metric_name(name)
 }
 
 impl PromSink {
@@ -144,38 +149,118 @@ impl PromSink {
         state.timings.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
     }
 
+    /// Per-`(name, label)` observation sketches, key-sorted.
+    pub fn observations(&self) -> Vec<((String, String), QuantileSketch)> {
+        let state = self.state.lock().expect("sink lock");
+        state.quantiles.iter().map(|((n, l), v)| ((n.to_string(), l.clone()), v.clone())).collect()
+    }
+
     /// Prometheus text exposition of everything aggregated so far.
+    ///
+    /// Hygiene guarantees (checked by
+    /// [`crate::prom::validate_exposition`] in the sink's tests and the
+    /// CI metrics smoke): every family gets `# HELP` and `# TYPE`
+    /// exactly once, before its samples; metric names are sanitized
+    /// ([`crate::prom::sanitize_metric_name`]); label values and help
+    /// text are escaped. Raw names that sanitize to the same family are
+    /// merged (counters/histograms sum, gauges keep the name-sorted
+    /// last), never emitted twice.
     pub fn render(&self) -> String {
         let state = self.state.lock().expect("sink lock");
         let mut out = String::new();
+
+        let mut counters: BTreeMap<String, (u64, &'static str)> = BTreeMap::new();
         for (name, value) in &state.counters {
-            let name = sanitize(name);
-            out.push_str(&format!("# TYPE samplehist_{name}_total counter\n"));
-            out.push_str(&format!("samplehist_{name}_total {value}\n"));
+            let e = counters.entry(sanitize(name)).or_insert((0, name));
+            e.0 += value;
         }
+        for (name, (value, raw)) in &counters {
+            let family = format!("samplehist_{name}_total");
+            out.push_str(&format!("# HELP {family} Counter \"{}\".\n", escape_help(raw)));
+            out.push_str(&format!("# TYPE {family} counter\n"));
+            out.push_str(&format!("{family} {value}\n"));
+        }
+
+        let mut gauges: BTreeMap<String, (f64, &'static str)> = BTreeMap::new();
         for (name, value) in &state.gauges {
-            let name = sanitize(name);
-            out.push_str(&format!("# TYPE samplehist_{name} gauge\n"));
-            out.push_str(&format!("samplehist_{name} {value}\n"));
+            gauges.insert(sanitize(name), (*value, name));
         }
+        for (name, (value, raw)) in &gauges {
+            let family = format!("samplehist_{name}");
+            out.push_str(&format!("# HELP {family} Gauge \"{}\".\n", escape_help(raw)));
+            out.push_str(&format!("# TYPE {family} gauge\n"));
+            out.push_str(&format!("{family} {value}\n"));
+        }
+
+        // Timings and span durations share one rendering; colliding
+        // sanitized names (including a timing and a span with the same
+        // name) merge into a single histogram family.
+        let mut hists: BTreeMap<String, (LogHistogram, &'static str)> = BTreeMap::new();
         for (name, hist) in state.timings.iter().chain(state.spans.iter()) {
-            render_histogram(&mut out, &sanitize(name), hist);
+            match hists.entry(sanitize(name)) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert((hist.clone(), name));
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().0.merge(hist);
+                }
+            }
+        }
+        for (name, (hist, raw)) in &hists {
+            render_histogram(&mut out, name, raw, hist);
+        }
+
+        // Observations: one summary family per metric name, one series
+        // per dynamic label.
+        let mut summaries: BTreeMap<String, (BTreeMap<&str, QuantileSketch>, &'static str)> =
+            BTreeMap::new();
+        for ((name, label), sketch) in &state.quantiles {
+            let e = summaries.entry(sanitize(name)).or_insert_with(|| (BTreeMap::new(), name));
+            match e.0.entry(label.as_str()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(sketch.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge(sketch);
+                }
+            }
+        }
+        for (name, (by_label, raw)) in &summaries {
+            let family = format!("samplehist_{name}");
+            out.push_str(&format!("# HELP {family} Observations \"{}\".\n", escape_help(raw)));
+            out.push_str(&format!("# TYPE {family} summary\n"));
+            for (label, sketch) in by_label {
+                let series = escape_label_value(label);
+                for (q, v) in [(0.5, sketch.p50()), (0.95, sketch.p95()), (0.99, sketch.p99())] {
+                    if let Some(v) = v {
+                        out.push_str(&format!(
+                            "{family}{{series=\"{series}\",quantile=\"{q}\"}} {v}\n"
+                        ));
+                    }
+                }
+                out.push_str(&format!(
+                    "{family}_count{{series=\"{series}\"}} {}\n",
+                    sketch.count()
+                ));
+            }
         }
         out
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, hist: &LogHistogram) {
-    out.push_str(&format!("# TYPE samplehist_{name}_seconds histogram\n"));
+fn render_histogram(out: &mut String, name: &str, raw: &str, hist: &LogHistogram) {
+    let family = format!("samplehist_{name}_seconds");
+    out.push_str(&format!("# HELP {family} Duration histogram \"{}\".\n", escape_help(raw)));
+    out.push_str(&format!("# TYPE {family} histogram\n"));
     let mut cumulative = 0u64;
     for (upper_ns, count) in hist.buckets() {
         cumulative += count;
         let le = upper_ns as f64 / 1e9;
-        out.push_str(&format!("samplehist_{name}_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        out.push_str(&format!("{family}_bucket{{le=\"{le}\"}} {cumulative}\n"));
     }
-    out.push_str(&format!("samplehist_{name}_seconds_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
-    out.push_str(&format!("samplehist_{name}_seconds_sum {}\n", hist.sum() as f64 / 1e9));
-    out.push_str(&format!("samplehist_{name}_seconds_count {}\n", hist.count()));
+    out.push_str(&format!("{family}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+    out.push_str(&format!("{family}_sum {}\n", hist.sum() as f64 / 1e9));
+    out.push_str(&format!("{family}_count {}\n", hist.count()));
 }
 
 impl Sink for PromSink {
@@ -193,6 +278,9 @@ impl Sink for PromSink {
             }
             Event::SpanEnd { name, dur_ns, .. } => {
                 state.spans.entry(name).or_default().observe(*dur_ns);
+            }
+            Event::Observation { name, label, value, .. } => {
+                state.quantiles.entry((name, label.clone())).or_default().observe(*value);
             }
             Event::SpanStart { .. } => {}
         }
@@ -243,17 +331,65 @@ mod tests {
             dur_ns: 2_000_000,
             fields: Vec::new(),
         });
+        sink.record(&Event::Observation {
+            name: "service.qerror",
+            label: "orders.\"amount\"".into(),
+            value: 1.5,
+            t_us: 5,
+        });
+        sink.record(&Event::Observation {
+            name: "service.qerror",
+            label: "orders.\"amount\"".into(),
+            value: 3.0,
+            t_us: 6,
+        });
         assert_eq!(sink.counter_value("storage.pages_read"), Some(7));
         let text = sink.render();
         assert!(text.contains("samplehist_storage_pages_read_total 7"), "{text}");
         assert!(text.contains("samplehist_parallel_threads 2"), "{text}");
         assert!(text.contains("samplehist_cvb_round_seconds_count 1"), "{text}");
         assert!(text.contains("le=\"+Inf\"}} 1") || text.contains("le=\"+Inf\"} 1"), "{text}");
+        assert!(
+            text.contains(
+                "samplehist_service_qerror{series=\"orders.\\\"amount\\\"\",quantile=\"0.5\"}"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("samplehist_service_qerror_count{series=\"orders.\\\"amount\\\"\"} 2"),
+            "{text}"
+        );
+        crate::prom::validate_exposition(&text).expect("render must be valid exposition");
+        let obs = sink.observations();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].1.count(), 2);
+    }
+
+    #[test]
+    fn render_emits_help_and_type_exactly_once_per_family() {
+        let sink = PromSink::new();
+        // A timing and a span end sharing a name must merge, not emit
+        // two `# TYPE` lines for the same family.
+        sink.record(&Event::Timing { name: "cvb.round", nanos: 10, t_us: 0 });
+        sink.record(&Event::SpanEnd {
+            id: 1,
+            name: "cvb.round",
+            t_us: 1,
+            dur_ns: 20,
+            fields: Vec::new(),
+        });
+        let text = sink.render();
+        let type_lines =
+            text.lines().filter(|l| l.starts_with("# TYPE samplehist_cvb_round_seconds ")).count();
+        assert_eq!(type_lines, 1, "{text}");
+        assert!(text.contains("samplehist_cvb_round_seconds_count 2"), "{text}");
+        crate::prom::validate_exposition(&text).expect("valid exposition");
     }
 
     #[test]
     fn sanitizer_maps_dots_to_underscores() {
         assert_eq!(sanitize("cvb.round"), "cvb_round");
         assert_eq!(sanitize("a:b-c d"), "a:b_c_d");
+        assert_eq!(sanitize("9lives"), "_9lives");
     }
 }

@@ -26,6 +26,7 @@ fn trace_lines() -> Vec<String> {
         recorder.counter("storage.pages_read", 40);
         recorder.gauge("parallel.threads", 4.0);
         recorder.timing("parallel.chunk_ns", 812);
+        recorder.observe("service.qerror", "orders.\"amount\"", 1.5);
     }
     recorder.flush();
     let text = sink.with_writer(|w| String::from_utf8(w.clone()).expect("utf-8"));
@@ -39,8 +40,8 @@ fn require(obj: &Json, key: &str) -> Json {
 #[test]
 fn every_line_parses_with_the_required_keys() {
     let lines = trace_lines();
-    // 2 starts + 2 ends + counter + gauge + timing.
-    assert_eq!(lines.len(), 7, "{lines:#?}");
+    // 2 starts + 2 ends + counter + gauge + timing + observation.
+    assert_eq!(lines.len(), 8, "{lines:#?}");
     for line in &lines {
         let obj = json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
         let kind = require(&obj, "type");
@@ -70,6 +71,15 @@ fn every_line_parses_with_the_required_keys() {
             "timing" => {
                 require(&obj, "name").as_str().expect("name");
                 require(&obj, "nanos").as_u64().expect("nanos");
+            }
+            "observation" => {
+                require(&obj, "name").as_str().expect("name");
+                assert_eq!(
+                    require(&obj, "label").as_str().expect("label"),
+                    "orders.\"amount\"",
+                    "dynamic label round-trips through escaping"
+                );
+                require(&obj, "value").as_f64().expect("value");
             }
             other => panic!("unknown event type {other:?}"),
         }

@@ -22,6 +22,14 @@
 //!   [`WorkerPool`] in concurrent mode — or synchronously, on a virtual
 //!   clock with RNG streams keyed by column state, in deterministic mode,
 //!   where a run is bit-identical whatever the thread count.
+//! * Estimation accuracy feeds back: execution reports observed
+//!   cardinalities through [`StatsService::record_actual`], each
+//!   snapshot keeps a per-column q-error ledger, and a sustained breach
+//!   ([`AccuracyPolicy`]) escalates through the *same* probe-then-
+//!   re-ANALYZE machinery — so estimate rot triggers refresh even with
+//!   zero writes. The ledgers (plus service counters) are exported by a
+//!   std-only HTTP responder ([`MetricsServer`]): Prometheus text at
+//!   `/metrics`, JSON at `/accuracy`.
 //!
 //! [`StatsCatalog`]: samplehist_engine::StatsCatalog
 //! [`Table::record_modifications`]: samplehist_engine::Table::record_modifications
@@ -30,13 +38,17 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod http;
 mod rng_stream;
 mod scheduler;
 mod service;
 mod staleness;
 
 pub use clock::Clock;
+pub use http::{accuracy_json, render_metrics, MetricsServer};
 pub use rng_stream::rng_stream;
 pub use scheduler::{RefreshJob, RefreshScheduler, SubmitOutcome};
 pub use service::{RefreshTally, ServiceConfig, StatsService};
-pub use staleness::{run_probe, run_probe_with, ProbeOutcome, ProbeScratch, StalenessPolicy};
+pub use staleness::{
+    run_probe, run_probe_with, AccuracyPolicy, ProbeOutcome, ProbeScratch, StalenessPolicy,
+};

@@ -17,7 +17,9 @@ use samplehist_storage::{FaultInjectingStorage, FaultSpec};
 use crate::clock::Clock;
 use crate::rng_stream::rng_stream;
 use crate::scheduler::{RefreshJob, RefreshScheduler, SubmitOutcome};
-use crate::staleness::{run_probe_with, ProbeOutcome, ProbeScratch, StalenessPolicy};
+use crate::staleness::{
+    run_probe_with, AccuracyPolicy, ProbeOutcome, ProbeScratch, StalenessPolicy,
+};
 
 std::thread_local! {
     /// Per-thread probe buffers: refresh workers (and [`StatsService::drain`]'s
@@ -47,6 +49,8 @@ pub struct ServiceConfig {
     pub analyze: AnalyzeOptions,
     /// Staleness triggers and probe sizing.
     pub staleness: StalenessPolicy,
+    /// Feedback-driven (q-error) staleness trigger.
+    pub accuracy: AccuracyPolicy,
     /// Fault tolerance for refreshes over fault-injecting storage.
     pub degradation: DegradationPolicy,
     /// Refresh queue bound; beyond it submissions are rejected & counted.
@@ -67,6 +71,7 @@ impl Default for ServiceConfig {
             deterministic: false,
             analyze: AnalyzeOptions::adaptive(100),
             staleness: StalenessPolicy::default(),
+            accuracy: AccuracyPolicy::default(),
             degradation: DegradationPolicy::default(),
             queue_capacity: 1024,
             max_attempts: 4,
@@ -144,6 +149,7 @@ pub struct StatsService {
     probe_passes: AtomicU64,
     full_reanalyzes: AtomicU64,
     rejected: AtomicU64,
+    accuracy_breaches: AtomicU64,
     pool: Option<WorkerPool>,
 }
 
@@ -169,6 +175,7 @@ impl StatsService {
             probe_passes: AtomicU64::new(0),
             full_reanalyzes: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            accuracy_breaches: AtomicU64::new(0),
             pool,
             config,
         });
@@ -262,6 +269,56 @@ impl StatsService {
         let b = self.lookup(t2, c2);
         span.field("hit", a.is_some() && b.is_some());
         Some(equijoin_from_stats(&a?.stats, &b?.stats))
+    }
+
+    /// Feed one executed predicate's observed cardinality back into the
+    /// serving snapshot's accuracy ledger — the estimation feedback loop.
+    ///
+    /// Returns the observation's q-error, or `None` when the column has
+    /// no snapshot to attribute it to (feedback about statistics that
+    /// don't exist is meaningless; the read path already queued a build).
+    ///
+    /// Once the ledger holds [`AccuracyPolicy::min_observations`] pairs
+    /// and the watched q-error quantile breaches
+    /// [`AccuracyPolicy::qerror_threshold`], the column is escalated
+    /// through the same machinery as mod-counter staleness: a refresh
+    /// job that starts with a Theorem-7 probe and re-ANALYZEs only on
+    /// probe failure. A passed probe resets the ledger (the statistics
+    /// were vindicated — the rot was in the workload, not the
+    /// histogram), so breaches re-arm instead of thrashing.
+    pub fn record_actual(
+        &self,
+        table: &str,
+        column: &str,
+        predicate: &str,
+        predicted: f64,
+        actual: f64,
+    ) -> Option<f64> {
+        let snap = self.catalog.get(table, column)?;
+        let q = snap.accuracy.record(predicate, predicted, actual);
+        let recorder = samplehist_obs::global();
+        if recorder.is_enabled() {
+            recorder.observe("service.qerror", &format!("{table}.{column}"), q);
+        }
+        let policy = &self.config.accuracy;
+        let observations = snap.accuracy.observations();
+        if observations >= policy.min_observations.max(1) {
+            let watched = snap.accuracy.sketch().quantile(policy.quantile).unwrap_or(1.0);
+            if policy.is_breach(observations, watched) {
+                self.accuracy_breaches.fetch_add(1, Ordering::Relaxed);
+                recorder.counter("service.accuracy.breach", 1);
+                // Priority mirrors the stale-read path: how far past the
+                // threshold the column has rotted.
+                self.request_refresh(
+                    table,
+                    column,
+                    watched / policy.qerror_threshold,
+                    0,
+                    self.clock.now(),
+                );
+            }
+        }
+        Some(q)
     }
 
     /// Build statistics for one column synchronously, bypassing the
@@ -358,6 +415,12 @@ impl StatsService {
         }
     }
 
+    /// Accuracy-ledger breaches observed (each one queued a refresh;
+    /// coalescing may fold several into one job).
+    pub fn accuracy_breaches(&self) -> u64 {
+        self.accuracy_breaches.load(Ordering::Relaxed)
+    }
+
     /// Pending refresh jobs.
     pub fn queue_depth(&self) -> usize {
         self.scheduler.len()
@@ -387,10 +450,12 @@ impl StatsService {
         let mut out = String::new();
         for snap in self.catalog.snapshot() {
             let s = &snap.stats;
+            let sketch = snap.accuracy.sketch();
             writeln!(
                 out,
                 "{}.{} epoch={} built_at={} mods_at_build={} rows={} sample={} method={} \
-                 distinct={:?} density={:?} separators={:?} counts={:?}",
+                 distinct={:?} density={:?} qerr_obs={} qerr_under={} qerr_over={} \
+                 qerr_p95={:?} qerr_worst={:?} separators={:?} counts={:?}",
                 s.table,
                 s.column,
                 snap.epoch,
@@ -401,6 +466,11 @@ impl StatsService {
                 s.method,
                 s.distinct_estimate,
                 s.density,
+                snap.accuracy.observations(),
+                snap.accuracy.underestimates(),
+                snap.accuracy.overestimates(),
+                sketch.quantile(0.95),
+                snap.accuracy.worst().map(|w| (w.predicate, w.predicted, w.actual, w.qerror)),
                 s.histogram.separators(),
                 s.histogram.counts(),
             )
@@ -521,8 +591,12 @@ impl StatsService {
             match outcome {
                 ProbeOutcome::Passed { observed, .. } => {
                     // Still good: re-arm staleness at today's counter and
-                    // keep serving the stored histogram.
+                    // keep serving the stored histogram. The accuracy
+                    // ledger resets too — the probe vindicated the
+                    // statistics, so accumulated q-errors must not keep
+                    // the column permanently in breach.
                     snap.record_probe_pass(mods_now);
+                    snap.accuracy.reset();
                     self.probe_passes.fetch_add(1, Ordering::Relaxed);
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     recorder.counter("service.refresh.probe.pass", 1);

@@ -90,6 +90,45 @@ impl StalenessPolicy {
     }
 }
 
+/// Tuning for the *feedback-driven* staleness trigger: the accuracy
+/// counterpart of [`StalenessPolicy`]'s modification counters.
+///
+/// Execution feeds observed (predicted, actual) cardinality pairs into
+/// each snapshot's accuracy ledger; once a column has accumulated
+/// [`min_observations`](Self::min_observations) of them and the watched
+/// q-error quantile exceeds
+/// [`qerror_threshold`](Self::qerror_threshold), the column is marked
+/// suspect **exactly like the mod-counter path** — it escalates to a
+/// Theorem-7 probe, and only a failed probe pays for a full re-ANALYZE.
+/// This catches estimate rot the modification counters are blind to
+/// (drifted reloads, correlated predicates) with zero writes observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPolicy {
+    /// Which q-error quantile to watch (0.95 = p95).
+    pub quantile: f64,
+    /// Breach level for the watched quantile: estimates off by more than
+    /// this factor (in either direction) count as rot.
+    pub qerror_threshold: f64,
+    /// Observations a ledger must accumulate before it can breach —
+    /// the "sustained over N observations" guard against one unlucky
+    /// predicate triggering a probe.
+    pub min_observations: u64,
+}
+
+impl Default for AccuracyPolicy {
+    fn default() -> Self {
+        Self { quantile: 0.95, qerror_threshold: 2.0, min_observations: 64 }
+    }
+}
+
+impl AccuracyPolicy {
+    /// Is a ledger with `observations` recorded pairs and `watched` as
+    /// its watched-quantile q-error in breach?
+    pub fn is_breach(&self, observations: u64, watched: f64) -> bool {
+        observations >= self.min_observations.max(1) && watched > self.qerror_threshold
+    }
+}
+
 /// What a cross-validation probe concluded.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProbeOutcome {
